@@ -1,0 +1,220 @@
+(* Command-line driver for the mapping-aware frequency-regulation flow.
+
+   regulate list
+   regulate show <kernel> [--dot FILE]
+   regulate flow <kernel> [--flavor iterative|baseline] [--levels N]
+   regulate compare <kernel> ...
+*)
+
+open Cmdliner
+
+let kernels_arg =
+  let doc = "Benchmark kernel name (see `regulate list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun k ->
+        let g = Hls.Kernels.graph k in
+        Printf.printf "%-15s %3d units %3d channels\n" k.Hls.Kernels.name
+          (Dataflow.Graph.n_units g) (Dataflow.Graph.n_channels g))
+      Hls.Kernels.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark kernels.") Term.(const run $ const ())
+
+(* ---- show ---- *)
+
+let show_cmd =
+  let dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Write Graphviz to $(docv).")
+  in
+  let run name dot =
+    let k = Hls.Kernels.by_name name in
+    let g = Hls.Kernels.graph k in
+    Printf.printf "%s: %d units, %d channels, %d marked back edges\n" name
+      (Dataflow.Graph.n_units g) (Dataflow.Graph.n_channels g)
+      (List.length (Dataflow.Graph.marked_back_edges g));
+    let net = Elaborate.run (let g' = Dataflow.Graph.copy g in ignore (Core.Flow.seed_back_edges g'); g') in
+    let synth = Techmap.Synth.run net in
+    let lg = Techmap.Mapper.run synth in
+    Printf.printf "seeded circuit: %d gates, %d FFs, %d LUTs, %d levels\n" (Net.n_gates net)
+      (Net.count_ffs net) (Techmap.Lutgraph.n_luts lg) lg.Techmap.Lutgraph.max_level;
+    match dot with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      Dataflow.Dot.to_channel oc g;
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print kernel circuit statistics.") Term.(const run $ kernels_arg $ dot)
+
+(* ---- flow ---- *)
+
+let flow_cmd =
+  let flavor =
+    let flavor_conv = Arg.enum [ ("iterative", `Iterative); ("baseline", `Baseline) ] in
+    Arg.(value & opt flavor_conv `Iterative & info [ "flavor" ] ~docv:"FLAVOR" ~doc:"iterative or baseline.")
+  in
+  let levels =
+    Arg.(value & opt int 6 & info [ "levels" ] ~docv:"N" ~doc:"Target logic levels (default 6).")
+  in
+  let routing = Arg.(value & flag & info [ "routing-aware" ] ~doc:"Fold placement wire estimates into the model.") in
+  let slack = Arg.(value & flag & info [ "slack-match" ] ~doc:"Pad reconvergent paths with transparent capacity.") in
+  let balance = Arg.(value & flag & info [ "balance" ] ~doc:"Run AND re-association before mapping.") in
+  let run name flavor levels routing slack balance =
+    let k = Hls.Kernels.by_name name in
+    let config =
+      {
+        Core.Flow.default_config with
+        Core.Flow.target_levels = levels;
+        routing_aware = routing;
+        slack_match = slack;
+        balance;
+        milp =
+          {
+            Core.Flow.default_config.Core.Flow.milp with
+            Buffering.Formulation.cp_target = float_of_int levels *. 0.7;
+          };
+      }
+    in
+    let metrics, outcome = Core.Experiment.run_flow ~config ~flavor k in
+    List.iter
+      (fun (it : Core.Flow.iteration) ->
+        Printf.printf
+          "iteration %d: %d pairs, %d delay nodes (%d fake), %d buffers proposed, levels=%d%s\n"
+          it.Core.Flow.it_index it.Core.Flow.model_pairs it.Core.Flow.delay_nodes
+          it.Core.Flow.fake_nodes it.Core.Flow.proposed_buffers it.Core.Flow.achieved_levels
+          (if it.Core.Flow.kept_as_fixed > 0 then
+             Printf.sprintf " -> keeping %d sparse min-penalty buffers" it.Core.Flow.kept_as_fixed
+           else "")
+      )
+      outcome.Core.Flow.iterations;
+    Printf.printf
+      "final: levels=%d (target %d, met=%b) buffers=%d cp=%.2fns cycles=%d exec=%.0fns luts=%d ffs=%d ok=%b\n"
+      metrics.Core.Experiment.levels levels metrics.Core.Experiment.met_target
+      metrics.Core.Experiment.buffers metrics.Core.Experiment.cp metrics.Core.Experiment.cycles
+      metrics.Core.Experiment.exec_ns metrics.Core.Experiment.luts metrics.Core.Experiment.ffs
+      metrics.Core.Experiment.value_ok
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Run one buffering flow on one kernel.")
+    Term.(const run $ kernels_arg $ flavor $ levels $ routing $ slack $ balance)
+
+(* ---- export ---- *)
+
+let export_cmd =
+  let run name =
+    let k = Hls.Kernels.by_name name in
+    let outcome = Core.Flow.iterative (Hls.Kernels.graph k) in
+    let g = outcome.Core.Flow.graph in
+    Out_channel.with_open_text (name ^ ".dot") (fun oc -> Dataflow.Dot.to_channel oc g);
+    let net = Elaborate.run g in
+    let synth = Techmap.Synth.run net in
+    let lg = Techmap.Mapper.run synth in
+    Out_channel.with_open_text (name ^ ".blif") (fun oc -> Techmap.Blif.to_channel oc net lg);
+    let r =
+      Out_channel.with_open_text (name ^ ".vcd") (fun oc ->
+          Sim.Elastic.run ~memories:(k.Hls.Kernels.mems ()) ~vcd:oc g)
+    in
+    Printf.printf "wrote %s.dot %s.blif %s.vcd (%d cycles)\n" name name name r.Sim.Elastic.cycles
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Optimise a kernel and export DOT, BLIF and VCD artefacts.")
+    Term.(const run $ kernels_arg)
+
+(* ---- compile (user-provided mini-C file) ---- *)
+
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-C source file.")
+  in
+  let simulate =
+    Arg.(value & flag & info [ "run" ] ~doc:"Also optimise and simulate (zero-initialised memories).")
+  in
+  let run file simulate =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let f = Hls.Parser.parse src in
+    let g = Hls.Compile.compile f in
+    Printf.printf "%s: %d units, %d channels, %d loops\n" f.Hls.Ast.fname
+      (Dataflow.Graph.n_units g) (Dataflow.Graph.n_channels g)
+      (List.length (Dataflow.Graph.marked_back_edges g));
+    if simulate then begin
+      let outcome = Core.Flow.iterative g in
+      let r = Sim.Elastic.run outcome.Core.Flow.graph in
+      let expected = Hls.Interp.run f ~args:[] ~memories:[] in
+      Printf.printf
+        "optimised: %d buffers, %d levels; simulated %d cycles -> %s (interpreter: %d)\n"
+        outcome.Core.Flow.total_buffers outcome.Core.Flow.final_levels r.Sim.Elastic.cycles
+        (match r.Sim.Elastic.exit_value with Some v -> string_of_int v | None -> "-")
+        expected
+    end
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a mini-C file to a dataflow circuit.")
+    Term.(const run $ file $ simulate)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run name =
+    let k = Hls.Kernels.by_name name in
+    let outcome = Core.Flow.iterative (Hls.Kernels.graph k) in
+    let g = outcome.Core.Flow.graph in
+    let r = Sim.Elastic.run ~memories:(k.Hls.Kernels.mems ()) g in
+    Printf.printf "%s: %d cycles, %d transfers\n\n" name r.Sim.Elastic.cycles r.Sim.Elastic.transfers;
+    (* the ten most stalled channels: where more capacity would help *)
+    let ranked =
+      Array.to_list (Array.mapi (fun cid st -> (cid, st)) r.Sim.Elastic.channel_stats)
+      |> List.sort (fun (_, a) (_, b) -> compare b.Sim.Elastic.cs_stalls a.Sim.Elastic.cs_stalls)
+    in
+    Printf.printf "most back-pressured channels (stall cycles):\n";
+    List.iteri
+      (fun i (cid, st) ->
+        if i < 10 && st.Sim.Elastic.cs_stalls > 0 then begin
+          let c = Dataflow.Graph.channel g cid in
+          Printf.printf "  %-30s stalls=%-6d transfers=%d\n"
+            (Printf.sprintf "%s -> %s"
+               (Dataflow.Graph.unit_node g c.Dataflow.Graph.src).Dataflow.Graph.label
+               (Dataflow.Graph.unit_node g c.Dataflow.Graph.dst).Dataflow.Graph.label)
+            st.Sim.Elastic.cs_stalls st.Sim.Elastic.cs_transfers
+        end)
+      ranked;
+    (* the placed critical path *)
+    let net, lg = Core.Flow.synth_map Core.Flow.default_config g in
+    let pr = Placeroute.Sta.analyze ~seed:7 net lg in
+    Format.printf "@\n%a" (fun fmt () -> Placeroute.Sta.pp_critical_path fmt g lg pr) ()
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Simulate a kernel and report hot channels and the critical path.")
+    Term.(const run $ kernels_arg)
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc:"Kernels (default: all nine).")
+  in
+  let run names =
+    let names = if names = [] then None else Some names in
+    let rows = Core.Experiment.run_all ?names () in
+    Core.Report.table1 Format.std_formatter rows;
+    Format.print_newline ();
+    Core.Report.figure5 Format.std_formatter rows;
+    Format.print_newline ();
+    Core.Report.iterations Format.std_formatter rows
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Reproduce Table I / Figure 5 for the given kernels.")
+    Term.(const run $ names)
+
+let () =
+  let doc = "Mapping-aware iterative buffer placement for dataflow circuits (DAC'23 reproduction)." in
+  let info = Cmd.info "regulate" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; flow_cmd; compare_cmd; export_cmd; profile_cmd; compile_cmd ]))

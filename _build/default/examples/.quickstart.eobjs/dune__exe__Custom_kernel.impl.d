@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Core Dataflow Hls List Printf Sim Support

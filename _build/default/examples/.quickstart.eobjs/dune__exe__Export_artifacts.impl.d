@@ -1,0 +1,1 @@
+examples/export_artifacts.ml: Core Dataflow Elaborate Hls Net Out_channel Printf Sim Techmap

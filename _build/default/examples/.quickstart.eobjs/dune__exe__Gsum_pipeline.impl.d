@@ -1,0 +1,1 @@
+examples/gsum_pipeline.ml: Core Dataflow Elaborate Hls List Placeroute Printf Sim Techmap

@@ -1,0 +1,1 @@
+examples/gsum_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Buffering Dataflow Elaborate List Net Printf String Techmap Timing

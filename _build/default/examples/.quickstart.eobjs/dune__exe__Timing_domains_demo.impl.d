@@ -1,0 +1,1 @@
+examples/timing_domains_demo.ml: Array Core Dataflow Elaborate Hashtbl Hls List Net Option Printf Techmap Timing

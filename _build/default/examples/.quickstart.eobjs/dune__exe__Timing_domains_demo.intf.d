@@ -1,0 +1,1 @@
+examples/timing_domains_demo.mli:

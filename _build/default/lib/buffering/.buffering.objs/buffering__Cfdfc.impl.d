@@ -1,0 +1,1 @@
+lib/buffering/cfdfc.ml: Dataflow Hashtbl List

@@ -1,0 +1,1 @@
+lib/buffering/formulation.ml: Array Cfdfc Dataflow Format Hashtbl List Milp Printf Timing

@@ -1,0 +1,1 @@
+lib/buffering/formulation.mli: Cfdfc Dataflow Timing

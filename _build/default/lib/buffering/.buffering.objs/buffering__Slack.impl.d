@@ -1,0 +1,1 @@
+lib/buffering/slack.ml: Array Dataflow Hashtbl List

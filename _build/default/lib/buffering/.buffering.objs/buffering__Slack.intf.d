@@ -1,0 +1,1 @@
+lib/buffering/slack.mli: Dataflow

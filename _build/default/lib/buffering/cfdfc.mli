@@ -1,0 +1,16 @@
+(** Choice-free dataflow circuit (CFDFC) extraction.
+
+    A CFDFC is the cyclic portion of the graph a control-flow loop
+    executes; the MILP maximises the throughput of each. We approximate a
+    CFDFC by a cyclic strongly connected component, with its simple
+    cycles enumerated (capped) for the cycle-legality constraints and the
+    initial-token marking on its back edges. *)
+
+type t = {
+  units : Dataflow.Graph.unit_id list;
+  channels : Dataflow.Graph.channel_id list;
+  back_edges : Dataflow.Graph.channel_id list;  (** carry the initial token *)
+  cycles : Dataflow.Graph.channel_id list list; (** enumerated simple cycles *)
+}
+
+val extract : ?cycle_limit:int -> Dataflow.Graph.t -> t list

@@ -1,0 +1,182 @@
+module G = Dataflow.Graph
+module K = Dataflow.Unit_kind
+module M = Timing.Model
+
+type config = {
+  cp_target : float;
+  alpha : float;
+  beta : float;
+  use_penalty : bool;
+  node_limit : int;
+}
+
+let default_config =
+  { cp_target = 4.2; alpha = 10.; beta = 0.05; use_penalty = true; node_limit = 20_000 }
+
+type placement = {
+  new_buffers : G.channel_id list;
+  all_buffered : G.channel_id list;
+  throughput : float list;
+  objective : float;
+  proved_optimal : bool;
+  unfixable_paths : int;
+  milp_vars : int;
+  milp_constrs : int;
+}
+
+let solve cfg g (model : M.t) cfdfcs =
+  let lp = Milp.Lp.create (G.name g ^ "_buffering") in
+  let cp = cfg.cp_target in
+  let unfixable = ref 0 in
+  (* ---- R_c variables ---- *)
+  let r_vars : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let is_buffered c =
+    match G.buffer g c with Some { G.transparent = false; _ } -> true | _ -> false
+  in
+  let r_of c =
+    match Hashtbl.find_opt r_vars c with
+    | Some v -> v
+    | None ->
+      let v = Milp.Lp.add_var lp ~kind:Milp.Lp.Binary (Printf.sprintf "R_c%d" c) in
+      if is_buffered c then Milp.Lp.set_bounds lp v ~lo:1. ~hi:1.;
+      Hashtbl.replace r_vars c v;
+      v
+  in
+  (* ---- arrival-time variables ---- *)
+  let arr_vars : (M.terminal, int) Hashtbl.t = Hashtbl.create 64 in
+  let arr_of term =
+    match Hashtbl.find_opt arr_vars term with
+    | Some v -> v
+    | None ->
+      let nm = Format.asprintf "a_%a" M.pp_terminal term in
+      let v = Milp.Lp.add_var lp ~lo:0. ~hi:cp nm in
+      Hashtbl.replace arr_vars term v;
+      v
+  in
+  let chan_of_term = function M.T_chan_fwd c | M.T_chan_bwd c -> c | M.T_reg -> -1 in
+  (* ---- clock-period constraints from delay pairs ----
+     Single-variable lower bounds (launch pairs and the fresh-launch
+     part of crossing pairs) are folded into variable bounds: it keeps
+     the tableau small and removes most phase-1 artificials. *)
+  let raise_lo term d =
+    let v = arr_of term in
+    let lo, hi = Milp.Lp.bounds lp v in
+    Milp.Lp.set_bounds lp v ~lo:(max lo d) ~hi
+  in
+  List.iter
+    (fun { M.p_src; p_dst; p_delay = d } ->
+      match (p_src, p_dst) with
+      | M.T_reg, M.T_reg -> if d > cp +. 1e-9 then incr unfixable
+      | M.T_reg, t -> if d > cp +. 1e-9 then incr unfixable else raise_lo t d
+      | s, M.T_reg ->
+        if d > cp +. 1e-9 then incr unfixable
+        else begin
+          (* a_s + d - CP*R_s <= CP *)
+          let rs = r_of (chan_of_term s) in
+          Milp.Lp.add_constr lp [ (1., arr_of s); (-.cp, rs) ] Milp.Lp.Le (cp -. d)
+        end
+      | s, t ->
+        if d > cp +. 1e-9 then incr unfixable
+        else begin
+          let rs = r_of (chan_of_term s) in
+          let a_s = arr_of s and a_t = arr_of t in
+          (* a_t >= a_s + d - CP*R_s *)
+          Milp.Lp.add_constr lp [ (1., a_t); (-1., a_s); (cp, rs) ] Milp.Lp.Ge d;
+          (* a_t >= d even when s is buffered (fresh launch) *)
+          raise_lo t d
+        end)
+    model.M.pairs;
+  (* ---- throughput per CFDFC ---- *)
+  let thetas =
+    List.map
+      (fun (cf : Cfdfc.t) ->
+        let theta = Milp.Lp.add_var lp ~lo:0. ~hi:1. "theta" in
+        let retim = Hashtbl.create 16 in
+        let r_u u =
+          match Hashtbl.find_opt retim u with
+          | Some v -> v
+          | None ->
+            let v =
+              Milp.Lp.add_var lp ~lo:neg_infinity ~hi:infinity (Printf.sprintf "r_u%d" u)
+            in
+            Hashtbl.replace retim u v;
+            v
+        in
+        let back = Hashtbl.create 8 in
+        List.iter (fun c -> Hashtbl.replace back c ()) cf.Cfdfc.back_edges;
+        List.iter
+          (fun cid ->
+            let c = G.channel g cid in
+            let rc = r_of cid in
+            (* w = theta * R_c, McCormick (exact for binary R) *)
+            let w = Milp.Lp.add_var lp ~lo:0. ~hi:1. (Printf.sprintf "w_c%d" cid) in
+            Milp.Lp.add_constr lp [ (1., w); (-1., rc) ] Milp.Lp.Le 0.;
+            Milp.Lp.add_constr lp [ (1., w); (-1., theta) ] Milp.Lp.Le 0.;
+            Milp.Lp.add_constr lp [ (1., w); (-1., theta); (-1., rc) ] Milp.Lp.Ge (-1.);
+            (* r_v - r_u - theta*L_u - w >= -m_c *)
+            let lat = float_of_int (K.latency (G.unit_node g c.G.src).G.kind) in
+            let m = if Hashtbl.mem back cid then 1. else 0. in
+            Milp.Lp.add_constr lp
+              [ (1., r_u c.G.dst); (-1., r_u c.G.src); (-.lat, theta); (-1., w) ]
+              Milp.Lp.Ge (-.m))
+          cf.Cfdfc.channels;
+        (* every cycle keeps at least one opaque buffer *)
+        List.iter
+          (fun cyc ->
+            Milp.Lp.add_constr lp (List.map (fun c -> (1., r_of c)) cyc) Milp.Lp.Ge 1.)
+          cf.Cfdfc.cycles;
+        theta)
+      cfdfcs
+  in
+  (* ---- objective (Eq. 1 / Eq. 3) ---- *)
+  let obj =
+    List.map (fun th -> (cfg.alpha, th)) thetas
+    @ (Hashtbl.fold
+         (fun c v acc ->
+           let pen = if cfg.use_penalty then model.M.penalty.(c) else 0. in
+           (-.cfg.beta *. (1. +. pen), v) :: acc)
+         r_vars [])
+  in
+  Milp.Lp.set_objective lp ~maximize:true obj;
+  (* Rounding heuristic: buffer-everywhere directions are always
+     CP-feasible, so rounding the relaxation's fractional R up and
+     re-solving the continuous rest yields a feasible incumbent that
+     lets branch & bound prune from the start. *)
+  let initial =
+    match Milp.Simplex.solve lp with
+    | Milp.Simplex.Optimal { x; _ } ->
+      let saved = Hashtbl.fold (fun c v acc -> (c, v, Milp.Lp.bounds lp v) :: acc) r_vars [] in
+      List.iter
+        (fun (_, v, _) ->
+          let r = if x.(v) > 1e-4 then 1. else 0. in
+          Milp.Lp.set_bounds lp v ~lo:r ~hi:r)
+        saved;
+      let result =
+        match Milp.Simplex.solve lp with
+        | Milp.Simplex.Optimal { x = x0; _ } -> Some x0
+        | _ -> None
+      in
+      List.iter (fun (_, v, (lo, hi)) -> Milp.Lp.set_bounds lp v ~lo ~hi) saved;
+      result
+    | _ -> None
+  in
+  match Milp.Bb.solve ~node_limit:cfg.node_limit ?initial lp with
+  | Milp.Bb.Infeasible -> Error "buffer MILP infeasible"
+  | Milp.Bb.Unbounded -> Error "buffer MILP unbounded"
+  | Milp.Bb.Optimal { obj; x; proved_optimal; _ } ->
+    let all_buffered =
+      Hashtbl.fold (fun c v acc -> if x.(v) > 0.5 then c :: acc else acc) r_vars []
+      |> List.sort compare
+    in
+    let new_buffers = List.filter (fun c -> not (is_buffered c)) all_buffered in
+    Ok
+      {
+        new_buffers;
+        all_buffered;
+        throughput = List.map (fun th -> x.(th)) thetas;
+        objective = obj;
+        proved_optimal;
+        unfixable_paths = !unfixable;
+        milp_vars = Milp.Lp.n_vars lp;
+        milp_constrs = Milp.Lp.n_constrs lp;
+      }

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Dataflow Flow Hls List Placeroute Sim Techmap

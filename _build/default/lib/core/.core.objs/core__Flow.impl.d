@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Buffering Dataflow Elaborate Hashtbl List Placeroute Techmap Timing

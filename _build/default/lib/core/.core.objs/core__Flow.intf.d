@@ -1,0 +1,1 @@
+lib/core/flow.mli: Buffering Dataflow Net Techmap

@@ -1,0 +1,1 @@
+lib/core/report.ml: Experiment Format List Printf String

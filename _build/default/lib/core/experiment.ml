@@ -1,0 +1,65 @@
+module G = Dataflow.Graph
+
+type metrics = {
+  cp : float;
+  cycles : int;
+  exec_ns : float;
+  luts : int;
+  ffs : int;
+  levels : int;
+  buffers : int;
+  iterations : int;
+  met_target : bool;
+  value_ok : bool;
+}
+
+type row = {
+  bench : string;
+  prev : metrics;
+  iter : metrics;
+}
+
+let measure config (outcome : Flow.outcome) kernel =
+  let g = outcome.Flow.graph in
+  let net, lg = Flow.synth_map config g in
+  let pr = Placeroute.Sta.analyze ~seed:7 net lg in
+  let mems = kernel.Hls.Kernels.mems () in
+  let sim = Sim.Elastic.run ~memories:mems g in
+  let reference = Hls.Kernels.reference kernel in
+  let value_ok =
+    sim.Sim.Elastic.finished && sim.Sim.Elastic.exit_value = Some reference
+  in
+  {
+    cp = pr.Placeroute.Sta.cp;
+    cycles = sim.Sim.Elastic.cycles;
+    exec_ns = pr.Placeroute.Sta.cp *. float_of_int sim.Sim.Elastic.cycles;
+    luts = pr.Placeroute.Sta.n_luts;
+    ffs = pr.Placeroute.Sta.n_ffs;
+    levels = lg.Techmap.Lutgraph.max_level;
+    buffers = List.length (G.buffered_channels g);
+    iterations = List.length outcome.Flow.iterations;
+    met_target = outcome.Flow.met_target;
+    value_ok;
+  }
+
+let run_flow ?(config = Flow.default_config) ~flavor kernel =
+  let g = Hls.Kernels.graph kernel in
+  let outcome =
+    match flavor with
+    | `Baseline -> Flow.baseline ~config g
+    | `Iterative -> Flow.iterative ~config g
+  in
+  (measure config outcome kernel, outcome)
+
+let run_kernel ?(config = Flow.default_config) kernel =
+  let prev, _ = run_flow ~config ~flavor:`Baseline kernel in
+  let iter, _ = run_flow ~config ~flavor:`Iterative kernel in
+  { bench = kernel.Hls.Kernels.name; prev; iter }
+
+let run_all ?(config = Flow.default_config) ?names () =
+  let kernels =
+    match names with
+    | None -> Hls.Kernels.all
+    | Some ns -> List.map Hls.Kernels.by_name ns
+  in
+  List.map (run_kernel ~config) kernels

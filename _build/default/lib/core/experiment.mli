@@ -1,0 +1,37 @@
+(** End-to-end evaluation harness: runs both flows on a kernel and
+    collects every metric of the paper's Table I.
+
+    For one kernel and one flow: optimise buffering → re-synthesise →
+    place & route (CP, LUTs, FFs, logic levels) → simulate the kernel's
+    workload (clock cycles, with the exit value checked against the AST
+    interpreter) → execution time = CP × cycles. *)
+
+type metrics = {
+  cp : float;             (** achieved clock period after P&R, ns *)
+  cycles : int;           (** simulated clock cycles *)
+  exec_ns : float;        (** CP x cycles *)
+  luts : int;
+  ffs : int;
+  levels : int;           (** post-synthesis logic levels *)
+  buffers : int;          (** opaque buffers placed *)
+  iterations : int;       (** optimisation iterations used *)
+  met_target : bool;
+  value_ok : bool;        (** simulation matched the reference interpreter *)
+}
+
+type row = {
+  bench : string;
+  prev : metrics;   (** mapping-agnostic baseline *)
+  iter : metrics;   (** iterative mapping-aware flow *)
+}
+
+val run_flow :
+  ?config:Flow.config ->
+  flavor:[ `Baseline | `Iterative ] ->
+  Hls.Kernels.t ->
+  metrics * Flow.outcome
+
+val run_kernel : ?config:Flow.config -> Hls.Kernels.t -> row
+
+val run_all : ?config:Flow.config -> ?names:string list -> unit -> row list
+(** Runs the paper's nine benchmarks (or a subset). *)

@@ -1,0 +1,193 @@
+module G = Dataflow.Graph
+module A = Dataflow.Analysis
+
+type config = {
+  target_levels : int;
+  level_delay : float;
+  max_iterations : int;
+  milp : Buffering.Formulation.config;
+  lut_k : int;
+  routing_aware : bool;
+  slack_match : bool;
+  balance : bool;
+}
+
+let default_config =
+  {
+    target_levels = 6;
+    level_delay = 0.7;
+    max_iterations = 6;
+    milp = { Buffering.Formulation.default_config with cp_target = 6. *. 0.7 };
+    lut_k = 6;
+    routing_aware = false;
+    slack_match = false;
+    balance = false;
+  }
+
+type iteration = {
+  it_index : int;
+  model_pairs : int;
+  delay_nodes : int;
+  fake_nodes : int;
+  proposed_buffers : int;
+  kept_as_fixed : int;
+  achieved_levels : int;
+  milp_objective : float;
+  milp_proved : bool;
+}
+
+type outcome = {
+  graph : G.t;
+  iterations : iteration list;
+  met_target : bool;
+  final_levels : int;
+  total_buffers : int;
+}
+
+let opaque = Some { G.transparent = false; slots = 2 }
+
+let seed_back_edges g =
+  (* the front end's explicit loop-carried channels when available; the
+     generic DFS classification otherwise *)
+  let back =
+    match G.marked_back_edges g with [] -> A.back_edges g | marked -> marked
+  in
+  List.iter (fun c -> G.set_buffer g c opaque) back;
+  back
+
+let synth_map cfg g =
+  let net = Elaborate.run g in
+  let synth = Techmap.Synth.run net in
+  let synth = if cfg.balance then Techmap.Balance.run synth else synth in
+  let lg = Techmap.Mapper.run ~k:cfg.lut_k synth in
+  (net, lg)
+
+let levels_of cfg g =
+  let _, lg = synth_map cfg g in
+  lg.Techmap.Lutgraph.max_level
+
+let apply_buffers base channels =
+  let g = G.copy base in
+  List.iter (fun c -> G.set_buffer g c opaque) channels;
+  g
+
+(* Per basic block, keep the proposed buffer with the lowest penalty:
+   sparse across the circuit, minimal disruption of logic optimisation
+   (§V). *)
+let sparse_min_penalty_subset g (model : Timing.Model.t) proposed =
+  let best = Hashtbl.create 8 in
+  List.iter
+    (fun cid ->
+      let bb = (G.unit_node g (G.channel g cid).G.src).G.bb in
+      let pen = model.Timing.Model.penalty.(cid) in
+      match Hashtbl.find_opt best bb with
+      | Some (_, p) when p <= pen -> ()
+      | _ -> Hashtbl.replace best bb (cid, pen))
+    proposed;
+  Hashtbl.fold (fun _ (cid, _) acc -> cid :: acc) best [] |> List.sort compare
+
+let iterative ?(config = default_config) input =
+  let g0 = G.copy input in
+  G.clear_buffers g0;
+  let seeded = seed_back_edges g0 in
+  ignore seeded;
+  let iterations = ref [] in
+  let rec iterate it fixed =
+    (* the working circuit for this iteration: base + fixed buffers *)
+    let g = apply_buffers g0 fixed in
+    let net, lg = synth_map config g in
+    (* optional routing awareness (§VI future work): fold estimated wire
+       delays from a quick placement into each LUT's delay *)
+    let lut_extra =
+      if not config.routing_aware then fun _ -> 0.
+      else begin
+        let pl = Placeroute.Place.run ~seed:7 ~effort:0.3 net lg in
+        let max_in = Array.make (Techmap.Lutgraph.n_luts lg) 0. in
+        List.iter
+          (fun { Techmap.Lutgraph.e_src; e_dst } ->
+            match e_dst with
+            | Techmap.Lutgraph.Lut l ->
+              let d =
+                Placeroute.Arch.wire_delay
+                  (Placeroute.Place.distance pl
+                     (Placeroute.Place.item_of_endpoint e_src)
+                     (Placeroute.Place.item_of_endpoint e_dst))
+              in
+              if d > max_in.(l) then max_in.(l) <- d
+            | Techmap.Lutgraph.Seq _ -> ())
+          lg.Techmap.Lutgraph.edges;
+        fun l -> max_in.(l)
+      end
+    in
+    let model = Timing.Mapping_aware.build ~lut_delay:config.level_delay ~lut_extra g ~net lg in
+    let cfdfcs = Buffering.Cfdfc.extract g in
+    match Buffering.Formulation.solve config.milp g model cfdfcs with
+    | Error msg -> failwith ("Flow.iterative: " ^ msg)
+    | Ok placement ->
+      let candidate = apply_buffers g (placement.Buffering.Formulation.new_buffers) in
+      let achieved = levels_of config candidate in
+      let met = achieved <= config.target_levels in
+      let last = it >= config.max_iterations in
+      let kept =
+        if met || last then []
+        else sparse_min_penalty_subset g model placement.Buffering.Formulation.new_buffers
+      in
+      iterations :=
+        {
+          it_index = it;
+          model_pairs = List.length model.Timing.Model.pairs;
+          delay_nodes = model.Timing.Model.delay_nodes;
+          fake_nodes = model.Timing.Model.fake_nodes;
+          proposed_buffers = List.length placement.Buffering.Formulation.new_buffers;
+          kept_as_fixed = List.length kept;
+          achieved_levels = achieved;
+          milp_objective = placement.Buffering.Formulation.objective;
+          milp_proved = placement.Buffering.Formulation.proved_optimal;
+        }
+        :: !iterations;
+      if met || last then begin
+        if config.slack_match then ignore (Buffering.Slack.apply candidate);
+        {
+          graph = candidate;
+          iterations = List.rev !iterations;
+          met_target = met;
+          final_levels = achieved;
+          total_buffers = List.length (G.buffered_channels candidate);
+        }
+      end
+      else iterate (it + 1) (List.sort_uniq compare (fixed @ kept))
+  in
+  iterate 1 []
+
+let baseline ?(config = default_config) input =
+  let g = G.copy input in
+  G.clear_buffers g;
+  let _ = seed_back_edges g in
+  let model = Timing.Precharacterized.build g in
+  let cfdfcs = Buffering.Cfdfc.extract g in
+  let milp = { config.milp with Buffering.Formulation.use_penalty = false } in
+  match Buffering.Formulation.solve milp g model cfdfcs with
+  | Error msg -> failwith ("Flow.baseline: " ^ msg)
+  | Ok placement ->
+    let final = apply_buffers g placement.Buffering.Formulation.new_buffers in
+    let achieved = levels_of config final in
+    {
+      graph = final;
+      iterations =
+        [
+          {
+            it_index = 1;
+            model_pairs = List.length model.Timing.Model.pairs;
+            delay_nodes = 0;
+            fake_nodes = 0;
+            proposed_buffers = List.length placement.Buffering.Formulation.new_buffers;
+            kept_as_fixed = 0;
+            achieved_levels = achieved;
+            milp_objective = placement.Buffering.Formulation.objective;
+            milp_proved = placement.Buffering.Formulation.proved_optimal;
+          };
+        ];
+      met_target = achieved <= config.target_levels;
+      final_levels = achieved;
+      total_buffers = List.length (G.buffered_channels final);
+    }

@@ -1,0 +1,74 @@
+(** The paper's primary contribution: iterative, mapping-aware frequency
+    regulation (Figure 4, §V), plus the one-shot mapping-agnostic
+    baseline it is compared against (§VI-A).
+
+    Iterative flow:
+    + seed opaque buffers on all loop back edges (fixed);
+    + synthesise and LUT-map the circuit, build the mapping-aware timing
+      model and channel penalties;
+    + solve the buffer-placement MILP (Eq. 3);
+    + re-synthesise with the chosen buffers and measure logic levels;
+    + if the target is met (or iterations are exhausted) stop; otherwise
+      keep a sparse subset of the found buffers — per basic block, the
+      one with the lowest penalty — as additional fixed buffers and
+      repeat.
+
+    Baseline flow: seed back edges, build the pre-characterised model,
+    solve the same MILP once without penalties (Eq. 1), done. *)
+
+type config = {
+  target_levels : int;      (** the paper targets 6 *)
+  level_delay : float;      (** 0.7 ns *)
+  max_iterations : int;
+  milp : Buffering.Formulation.config;
+  lut_k : int;              (** LUT input count, 6 *)
+  routing_aware : bool;
+      (** fold placement-estimated wire delays into the timing model (the
+          §VI future-work enhancement; off in the paper's configuration) *)
+  slack_match : bool;
+      (** pad reconvergent paths with transparent capacity after buffer
+          placement (the FPGA'20 sizing companion; off by default) *)
+  balance : bool;
+      (** run the depth-reducing AND re-association pass before LUT
+          mapping (ABC's [balance]; off to match the paper's `if -K 6`
+          only run) *)
+}
+
+val default_config : config
+
+type iteration = {
+  it_index : int;
+  model_pairs : int;
+  delay_nodes : int;
+  fake_nodes : int;
+  proposed_buffers : int;
+  kept_as_fixed : int;      (** buffers promoted to the fixed set after this iteration *)
+  achieved_levels : int;    (** post-synthesis levels with this iteration's buffers *)
+  milp_objective : float;
+  milp_proved : bool;
+}
+
+type outcome = {
+  graph : Dataflow.Graph.t;     (** final buffered circuit *)
+  iterations : iteration list;
+  met_target : bool;
+  final_levels : int;
+  total_buffers : int;
+}
+
+val seed_back_edges : Dataflow.Graph.t -> Dataflow.Graph.channel_id list
+(** Place (and return) the opaque buffers required on loop back edges.
+    Mutates the graph. *)
+
+val iterative : ?config:config -> Dataflow.Graph.t -> outcome
+(** Mapping-aware iterative flow. The input graph is not mutated. *)
+
+val baseline : ?config:config -> Dataflow.Graph.t -> outcome
+(** Mapping-agnostic one-shot flow (the paper's "Prev."). *)
+
+val levels_of : config -> Dataflow.Graph.t -> int
+(** Synthesise and map the graph as-is; return its logic-level count. *)
+
+val synth_map : config -> Dataflow.Graph.t -> Net.t * Techmap.Lutgraph.t
+(** Elaborate, synthesise (with the configured optimisation passes) and
+    LUT-map the graph. *)

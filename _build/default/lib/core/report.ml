@@ -1,0 +1,97 @@
+let pct iter prev =
+  if prev = 0. then "n/a"
+  else begin
+    let r = (iter -. prev) /. prev *. 100. in
+    Printf.sprintf "%+.0f%%" r
+  end
+
+let table1 fmt rows =
+  let line = String.make 130 '-' in
+  Format.fprintf fmt "%s@\n" line;
+  Format.fprintf fmt
+    "%-15s | %12s | %17s | %21s | %8s | %13s | %6s | %13s | %6s | %9s@\n"
+    "Benchmark" "CP (ns)" "Clock Cycles" "Exec Time (ns)" "ET Ratio" "# LUTs" "Ratio"
+    "# FFs" "Ratio" "Levels";
+  Format.fprintf fmt
+    "%-15s | %5s %6s | %8s %8s | %10s %10s | %8s | %6s %6s | %6s | %6s %6s | %6s | %4s %4s@\n"
+    "" "Prev." "Iter." "Prev." "Iter." "Prev." "Iter." "" "Prev." "Iter." "" "Prev." "Iter." ""
+    "Pr" "It";
+  Format.fprintf fmt "%s@\n" line;
+  List.iter
+    (fun (r : Experiment.row) ->
+      let p = r.Experiment.prev and i = r.Experiment.iter in
+      Format.fprintf fmt
+        "%-15s | %5.2f %6.2f | %8d %8d | %10.0f %10.0f | %8s | %6d %6d | %6s | %6d %6d | %6s | %4d %4d@\n"
+        r.Experiment.bench p.Experiment.cp i.Experiment.cp p.Experiment.cycles
+        i.Experiment.cycles p.Experiment.exec_ns i.Experiment.exec_ns
+        (pct i.Experiment.exec_ns p.Experiment.exec_ns)
+        p.Experiment.luts i.Experiment.luts
+        (pct (float_of_int i.Experiment.luts) (float_of_int p.Experiment.luts))
+        p.Experiment.ffs i.Experiment.ffs
+        (pct (float_of_int i.Experiment.ffs) (float_of_int p.Experiment.ffs))
+        p.Experiment.levels i.Experiment.levels)
+    rows;
+  Format.fprintf fmt "%s@\n" line;
+  let bad = List.filter (fun r -> not (r.Experiment.prev.Experiment.value_ok && r.Experiment.iter.Experiment.value_ok)) rows in
+  if bad = [] then Format.fprintf fmt "functional check: all circuits match the reference interpreter@\n"
+  else
+    List.iter
+      (fun r -> Format.fprintf fmt "WARNING: %s functional mismatch@\n" r.Experiment.bench)
+      bad
+
+let bar fmt label ratio =
+  let width = 40 in
+  let scaled = int_of_float (ratio *. float_of_int width /. 1.5) in
+  let scaled = max 0 (min (width + 15) scaled) in
+  let marker = int_of_float (1.0 *. float_of_int width /. 1.5) in
+  let cells = String.init (max scaled marker + 1) (fun i ->
+      if i = marker then '|' else if i < scaled then '#' else ' ')
+  in
+  Format.fprintf fmt "  %-14s %s %.2f@\n" label cells ratio
+
+let figure5 fmt rows =
+  Format.fprintf fmt "Figure 5: iterative flow normalised to baseline (| marks 1.00)@\n@\n";
+  Format.fprintf fmt "Execution time (CP x cycles):@\n";
+  List.iter
+    (fun (r : Experiment.row) ->
+      bar fmt r.Experiment.bench
+        (r.Experiment.iter.Experiment.exec_ns /. r.Experiment.prev.Experiment.exec_ns))
+    rows;
+  Format.fprintf fmt "@\nLUTs:@\n";
+  List.iter
+    (fun (r : Experiment.row) ->
+      bar fmt r.Experiment.bench
+        (float_of_int r.Experiment.iter.Experiment.luts
+        /. float_of_int r.Experiment.prev.Experiment.luts))
+    rows;
+  Format.fprintf fmt "@\nFFs:@\n";
+  List.iter
+    (fun (r : Experiment.row) ->
+      bar fmt r.Experiment.bench
+        (float_of_int r.Experiment.iter.Experiment.ffs
+        /. float_of_int r.Experiment.prev.Experiment.ffs))
+    rows
+
+let csv fmt rows =
+  Format.fprintf fmt
+    "bench,flow,cp_ns,cycles,exec_ns,luts,ffs,levels,buffers,iterations,met_target,value_ok@\n";
+  let line bench flow (m : Experiment.metrics) =
+    Format.fprintf fmt "%s,%s,%.3f,%d,%.1f,%d,%d,%d,%d,%d,%b,%b@\n" bench flow
+      m.Experiment.cp m.Experiment.cycles m.Experiment.exec_ns m.Experiment.luts
+      m.Experiment.ffs m.Experiment.levels m.Experiment.buffers m.Experiment.iterations
+      m.Experiment.met_target m.Experiment.value_ok
+  in
+  List.iter
+    (fun (r : Experiment.row) ->
+      line r.Experiment.bench "prev" r.Experiment.prev;
+      line r.Experiment.bench "iter" r.Experiment.iter)
+    rows
+
+let iterations fmt rows =
+  Format.fprintf fmt "Iterative-flow convergence (paper: <= 3 iterations, target always met):@\n";
+  List.iter
+    (fun (r : Experiment.row) ->
+      Format.fprintf fmt "  %-14s iterations=%d levels=%d target-met=%b@\n" r.Experiment.bench
+        r.Experiment.iter.Experiment.iterations r.Experiment.iter.Experiment.levels
+        r.Experiment.iter.Experiment.met_target)
+    rows

@@ -1,0 +1,22 @@
+(** Rendering of the paper's Table I and Figure 5 from measured rows. *)
+
+val table1 : Format.formatter -> Experiment.row list -> unit
+(** The full comparison table: CP, clock cycles, execution time (with
+    ratio), LUTs (ratio), FFs (ratio) and logic levels for both flows. *)
+
+val figure5 : Format.formatter -> Experiment.row list -> unit
+(** ASCII rendition of Figure 5: per-benchmark execution-time, LUT and
+    FF ratios of the iterative flow normalised to the baseline (1.00 =
+    dashed baseline of the paper's plot). *)
+
+val iterations : Format.formatter -> Experiment.row list -> unit
+(** Per-kernel iteration counts and level-target verdicts (§VI claims:
+    ≤ 3 iterations, target always met). *)
+
+val csv : Format.formatter -> Experiment.row list -> unit
+(** Machine-readable dump of every measured metric, one line per
+    (benchmark, flow). *)
+
+val pct : float -> float -> string
+(** [pct iter prev] formats the improvement as the paper does, e.g.
+    [-29%]. *)

@@ -1,0 +1,1 @@
+lib/dataflow/analysis.ml: Array Graph Hashtbl List Queue Unit_kind

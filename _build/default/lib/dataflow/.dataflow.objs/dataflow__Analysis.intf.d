@@ -1,0 +1,1 @@
+lib/dataflow/analysis.mli: Graph

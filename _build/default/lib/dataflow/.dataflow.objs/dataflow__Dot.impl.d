@@ -1,0 +1,1 @@
+lib/dataflow/dot.ml: Buffer Graph List Printf String Unit_kind

@@ -1,0 +1,1 @@
+lib/dataflow/dot.mli: Graph

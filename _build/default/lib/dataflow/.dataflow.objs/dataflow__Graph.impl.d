@@ -1,0 +1,1 @@
+lib/dataflow/graph.ml: Array List Option Printf String Support Unit_kind

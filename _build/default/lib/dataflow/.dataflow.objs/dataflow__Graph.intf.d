@@ -1,0 +1,1 @@
+lib/dataflow/graph.mli: Unit_kind

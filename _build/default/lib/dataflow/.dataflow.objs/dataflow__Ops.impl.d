@@ -1,0 +1,1 @@
+lib/dataflow/ops.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/dataflow/ops.mli: Format

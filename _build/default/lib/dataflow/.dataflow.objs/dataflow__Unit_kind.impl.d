@@ -1,0 +1,1 @@
+lib/dataflow/unit_kind.ml: Format Ops Option Printf

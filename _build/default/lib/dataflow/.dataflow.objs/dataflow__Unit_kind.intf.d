@@ -1,0 +1,1 @@
+lib/dataflow/unit_kind.mli: Format Ops

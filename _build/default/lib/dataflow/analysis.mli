@@ -1,0 +1,33 @@
+(** Structural analyses over dataflow graphs: strongly connected
+    components, cycle enumeration, back-edge detection, and the
+    fewest-units path query used by the LUT-edge mapper (§IV-A of the
+    paper). *)
+
+val sccs : Graph.t -> Graph.unit_id list list
+(** Tarjan strongly connected components; components in reverse
+    topological order, each as a list of unit ids. Singleton components
+    without a self-loop are included. *)
+
+val cyclic_sccs : Graph.t -> Graph.unit_id list list
+(** Only components that actually contain a cycle. *)
+
+val back_edges : Graph.t -> Graph.channel_id list
+(** Channels whose removal breaks all cycles (DFS back edges from the
+    entry units). These are where the flow seeds its initial buffers. *)
+
+val simple_cycles : ?limit:int -> Graph.t -> Graph.channel_id list list
+(** Johnson-style enumeration of simple cycles, each as a channel list,
+    capped at [limit] (default 512) cycles to stay tractable. *)
+
+val shortest_path : Graph.t -> src:Graph.unit_id -> dst:Graph.unit_id -> Graph.channel_id list option
+(** BFS path with the fewest units from [src] to [dst], as the channel
+    sequence; [None] if unreachable. A [src = dst] query returns [Some []].
+    This implements the paper's "DFG path with fewer dataflow units" rule
+    for ambiguous LUT edges. *)
+
+val reachable : Graph.t -> Graph.unit_id -> bool array
+(** Forward reachability from a unit. *)
+
+val topo_order : Graph.t -> Graph.unit_id list
+(** Topological order ignoring back edges (i.e., of the DAG obtained by
+    deleting [back_edges]). *)

@@ -1,0 +1,34 @@
+let escape s =
+  String.concat "" (List.map (fun c -> if c = '"' then "\\\"" else String.make 1 c) (List.init (String.length s) (String.get s)))
+
+let to_buffer buf g =
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=TB;\n" (escape (Graph.name g)));
+  Graph.iter_units g (fun n ->
+      let shape =
+        match n.Graph.kind with
+        | Unit_kind.Fork _ | Unit_kind.Lazy_fork _ -> "triangle"
+        | Unit_kind.Join _ | Unit_kind.Merge _ | Unit_kind.Mux _ | Unit_kind.Control_merge _ ->
+          "invtriangle"
+        | Unit_kind.Branch -> "diamond"
+        | Unit_kind.Buffer _ -> "box"
+        | _ -> "ellipse"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  u%d [label=\"%s\\nbb%d\" shape=%s];\n" n.Graph.uid (escape n.Graph.label)
+           n.Graph.bb shape));
+  Graph.iter_channels g (fun c ->
+      let deco =
+        match c.Graph.buffer with
+        | Some { Graph.transparent = true; slots } -> Printf.sprintf " [label=\"T%d\" color=blue]" slots
+        | Some { Graph.transparent = false; slots } -> Printf.sprintf " [label=\"B%d\" color=red]" slots
+        | None -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  u%d -> u%d%s;\n" c.Graph.src c.Graph.dst deco));
+  Buffer.add_string buf "}\n"
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  to_buffer buf g;
+  Buffer.contents buf
+
+let to_channel oc g = output_string oc (to_string g)

@@ -1,0 +1,5 @@
+(** Graphviz export of dataflow graphs, for debugging and documentation.
+    Buffered channels are drawn with a box on the edge label. *)
+
+val to_string : Graph.t -> string
+val to_channel : out_channel -> Graph.t -> unit

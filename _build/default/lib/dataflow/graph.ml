@@ -1,0 +1,148 @@
+type unit_id = int
+type channel_id = int
+
+type buffer_spec = { transparent : bool; slots : int }
+
+type node = {
+  uid : unit_id;
+  kind : Unit_kind.t;
+  label : string;
+  bb : int;
+  width : int;
+  ins : channel_id option array;
+  outs : channel_id option array;
+}
+
+type chan = {
+  cid : channel_id;
+  src : unit_id;
+  src_port : int;
+  dst : unit_id;
+  dst_port : int;
+  width : int;
+  mutable buffer : buffer_spec option;
+  mutable back : bool;
+}
+
+type t = {
+  gname : string;
+  units : node Support.Vec.t;
+  channels : chan Support.Vec.t;
+  mutable mems : (string * int) list;
+}
+
+let create gname =
+  { gname; units = Support.Vec.create (); channels = Support.Vec.create (); mems = [] }
+
+let name t = t.gname
+
+let add_unit t ?label ?(bb = -1) ?(width = 32) kind =
+  let uid = Support.Vec.length t.units in
+  let label = Option.value label ~default:(Printf.sprintf "%s_%d" (Unit_kind.name kind) uid) in
+  let node =
+    {
+      uid;
+      kind;
+      label;
+      bb;
+      width;
+      ins = Array.make (Unit_kind.in_arity kind) None;
+      outs = Array.make (Unit_kind.out_arity kind) None;
+    }
+  in
+  ignore (Support.Vec.push t.units node);
+  uid
+
+let unit_node t uid = Support.Vec.get t.units uid
+let channel t cid = Support.Vec.get t.channels cid
+let n_units t = Support.Vec.length t.units
+let n_channels t = Support.Vec.length t.channels
+
+let connect t ~src ~src_port ~dst ~dst_port =
+  let s = unit_node t src and d = unit_node t dst in
+  if src_port < 0 || src_port >= Array.length s.outs then
+    invalid_arg (Printf.sprintf "connect: %s has no output port %d" s.label src_port);
+  if dst_port < 0 || dst_port >= Array.length d.ins then
+    invalid_arg (Printf.sprintf "connect: %s has no input port %d" d.label dst_port);
+  (match s.outs.(src_port) with
+  | Some _ -> invalid_arg (Printf.sprintf "connect: output %s.%d already connected" s.label src_port)
+  | None -> ());
+  (match d.ins.(dst_port) with
+  | Some _ -> invalid_arg (Printf.sprintf "connect: input %s.%d already connected" d.label dst_port)
+  | None -> ());
+  let cid = Support.Vec.length t.channels in
+  let c = { cid; src; src_port; dst; dst_port; width = s.width; buffer = None; back = false } in
+  ignore (Support.Vec.push t.channels c);
+  s.outs.(src_port) <- Some cid;
+  d.ins.(dst_port) <- Some cid;
+  cid
+
+let add_memory t mem size = t.mems <- (mem, size) :: t.mems
+let memories t = List.rev t.mems
+
+let iter_units t f = Support.Vec.iter f t.units
+let iter_channels t f = Support.Vec.iter f t.channels
+let fold_channels t f init = Support.Vec.fold f init t.channels
+
+let in_channel t uid port = (unit_node t uid).ins.(port)
+let out_channel t uid port = (unit_node t uid).outs.(port)
+
+let preds t uid =
+  let n = unit_node t uid in
+  Array.to_list n.ins
+  |> List.filter_map (fun c -> Option.map (fun cid -> (cid, (channel t cid).src)) c)
+
+let succs t uid =
+  let n = unit_node t uid in
+  Array.to_list n.outs
+  |> List.filter_map (fun c -> Option.map (fun cid -> (cid, (channel t cid).dst)) c)
+
+let set_back_edge t cid = (channel t cid).back <- true
+
+let marked_back_edges t =
+  fold_channels t (fun acc c -> if c.back then c.cid :: acc else acc) [] |> List.rev
+
+let set_buffer t cid spec = (channel t cid).buffer <- spec
+let buffer t cid = (channel t cid).buffer
+
+let buffered_channels t =
+  fold_channels t
+    (fun acc c -> match c.buffer with Some b -> (c.cid, b) :: acc | None -> acc)
+    []
+  |> List.rev
+
+let clear_buffers t = iter_channels t (fun c -> c.buffer <- None)
+
+let copy t =
+  let units = Support.Vec.create () in
+  Support.Vec.iter
+    (fun n -> ignore (Support.Vec.push units { n with ins = Array.copy n.ins; outs = Array.copy n.outs }))
+    t.units;
+  let channels = Support.Vec.create () in
+  Support.Vec.iter (fun c -> ignore (Support.Vec.push channels { c with buffer = c.buffer })) t.channels;
+  { gname = t.gname; units; channels; mems = t.mems }
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  iter_units t (fun n ->
+      Array.iteri
+        (fun p c -> if c = None then err "unit %s: input port %d unconnected" n.label p)
+        n.ins;
+      Array.iteri
+        (fun p c -> if c = None then err "unit %s: output port %d unconnected" n.label p)
+        n.outs);
+  iter_channels t (fun c ->
+      if c.src < 0 || c.src >= n_units t then err "channel %d: bad src" c.cid;
+      if c.dst < 0 || c.dst >= n_units t then err "channel %d: bad dst" c.cid;
+      (match c.buffer with
+      | Some { slots; _ } when slots < 1 -> err "channel %d: buffer with %d slots" c.cid slots
+      | _ -> ()));
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))
+
+let find_units t p =
+  let out = ref [] in
+  iter_units t (fun n -> if p n then out := n.uid :: !out);
+  List.rev !out

@@ -1,0 +1,96 @@
+(** The dataflow graph (DFG): units connected by point-to-point channels.
+
+    Channels are the only legal buffer positions (buffers must never be
+    placed inside a unit, which would break the handshake protocol —
+    Josipović et al., FPGA 2020). A buffer is recorded as an annotation on
+    its channel so that the graph topology stays stable while the iterative
+    optimizer explores placements. *)
+
+type unit_id = int
+type channel_id = int
+
+type buffer_spec = {
+  transparent : bool;  (** transparent buffers add capacity without latency *)
+  slots : int;         (** queue capacity, >= 1 *)
+}
+
+type node = private {
+  uid : unit_id;
+  kind : Unit_kind.t;
+  label : string;
+  bb : int;            (** originating basic block (-1 if none) *)
+  width : int;         (** datapath bit-width of the unit's output *)
+  ins : channel_id option array;
+  outs : channel_id option array;
+}
+
+type chan = private {
+  cid : channel_id;
+  src : unit_id;
+  src_port : int;
+  dst : unit_id;
+  dst_port : int;
+  width : int;
+  mutable buffer : buffer_spec option;
+  mutable back : bool;  (** marked loop back edge (set by the front end) *)
+}
+
+type t
+
+val create : string -> t
+(** [create name] makes an empty graph. *)
+
+val name : t -> string
+
+val add_unit : t -> ?label:string -> ?bb:int -> ?width:int -> Unit_kind.t -> unit_id
+(** Add a unit; default width 32 (0 is conventional for pure control
+    tokens). *)
+
+val connect : t -> src:unit_id -> src_port:int -> dst:unit_id -> dst_port:int -> channel_id
+(** Wire an output port to an input port. Raises [Invalid_argument] if a
+    port is out of range or already connected. The channel width is the
+    source unit's width. *)
+
+val add_memory : t -> string -> int -> unit
+(** Declare a memory array by name and word count. *)
+
+val memories : t -> (string * int) list
+
+val n_units : t -> int
+val n_channels : t -> int
+val unit_node : t -> unit_id -> node
+val channel : t -> channel_id -> chan
+val iter_units : t -> (node -> unit) -> unit
+val iter_channels : t -> (chan -> unit) -> unit
+val fold_channels : t -> ('a -> chan -> 'a) -> 'a -> 'a
+
+val in_channel : t -> unit_id -> int -> channel_id option
+val out_channel : t -> unit_id -> int -> channel_id option
+
+val preds : t -> unit_id -> (channel_id * unit_id) list
+(** Incoming channels with their source units, in port order. *)
+
+val succs : t -> unit_id -> (channel_id * unit_id) list
+(** Outgoing channels with their destination units, in port order. *)
+
+val set_back_edge : t -> channel_id -> unit
+(** Mark a channel as a loop back edge. Front ends that know their loop
+    structure (see {!module:Hls}) mark the loop-carried channels; cycle
+    seeding and CFDFC token marking prefer these over the generic DFS
+    classification. *)
+
+val marked_back_edges : t -> channel_id list
+
+val set_buffer : t -> channel_id -> buffer_spec option -> unit
+val buffer : t -> channel_id -> buffer_spec option
+val buffered_channels : t -> (channel_id * buffer_spec) list
+val clear_buffers : t -> unit
+
+val copy : t -> t
+(** Deep copy, including buffer annotations. *)
+
+val validate : t -> (unit, string) result
+(** Checks that every port of every unit is connected exactly once and
+    that all endpoints are in range. *)
+
+val find_units : t -> (node -> bool) -> unit_id list

@@ -1,0 +1,68 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Shl
+  | Lshr
+  | And_
+  | Or_
+  | Xor_
+  | Icmp of cmp
+  | Select
+
+let arity = function
+  | Add | Sub | Mul | Shl | Lshr | And_ | Or_ | Xor_ | Icmp _ -> 2
+  | Select -> 3
+
+let default_latency = function
+  | Mul -> 4
+  | Add | Sub | Shl | Lshr | And_ | Or_ | Xor_ | Icmp _ | Select -> 0
+
+let default_ii _ = 1
+
+let cmp_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | And_ -> "and"
+  | Or_ -> "or"
+  | Xor_ -> "xor"
+  | Icmp c -> "icmp_" ^ cmp_name c
+  | Select -> "select"
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+let equal (a : t) (b : t) = a = b
+
+let eval_cmp c a b =
+  let r =
+    match c with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let eval t args =
+  match t, args with
+  | Add, [ a; b ] -> a + b
+  | Sub, [ a; b ] -> a - b
+  | Mul, [ a; b ] -> a * b
+  | Shl, [ a; b ] -> a lsl (b land 63)
+  | Lshr, [ a; b ] -> a lsr (b land 63)
+  | And_, [ a; b ] -> a land b
+  | Or_, [ a; b ] -> a lor b
+  | Xor_, [ a; b ] -> a lxor b
+  | Icmp c, [ a; b ] -> eval_cmp c a b
+  | Select, [ c; a; b ] -> if c <> 0 then a else b
+  | _ -> invalid_arg (Printf.sprintf "Ops.eval: %s applied to %d args" (name t) (List.length args))

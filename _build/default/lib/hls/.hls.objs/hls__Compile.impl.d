@@ -1,0 +1,1 @@
+lib/hls/compile.ml: Array Ast Dataflow Hashtbl List Lower Option Printf Set String

@@ -1,0 +1,1 @@
+lib/hls/compile.mli: Ast Dataflow

@@ -1,0 +1,1 @@
+lib/hls/interp.ml: Array Ast Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/hls/interp.mli: Ast

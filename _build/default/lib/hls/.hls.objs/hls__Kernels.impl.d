@@ -1,0 +1,1 @@
+lib/hls/kernels.ml: Array Compile Interp List Parser Support

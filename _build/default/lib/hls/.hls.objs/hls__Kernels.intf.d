@@ -1,0 +1,1 @@
+lib/hls/kernels.mli: Ast Dataflow

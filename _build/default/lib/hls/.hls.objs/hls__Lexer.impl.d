@@ -1,0 +1,1 @@
+lib/hls/lexer.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/hls/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/hls/lower.mli: Ast

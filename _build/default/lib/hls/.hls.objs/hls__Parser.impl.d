@@ -1,0 +1,1 @@
+lib/hls/parser.ml: Ast Format Lexer List

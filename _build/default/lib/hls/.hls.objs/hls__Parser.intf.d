@@ -1,0 +1,1 @@
+lib/hls/parser.mli: Ast

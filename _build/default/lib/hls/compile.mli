@@ -1,0 +1,27 @@
+(** Elastic-circuit generation: mini-C AST → dataflow graph (the
+    Dynamatic front end of the paper's Figure 4).
+
+    The generation is structural and compositional, mirroring how
+    Dynamatic builds circuits from control flow:
+
+    - every basic block gets a fresh index (used by the iterative flow's
+      "evenly distributed across basic blocks" buffer-subset rule);
+    - [if] branches every live value on the condition and re-merges it;
+    - loops place a priority merge per live value at the header and a
+      branch at the exit; the merge back edges are the DFG's cycles
+      (later seeded with buffers by the optimiser);
+    - constants are triggered by the control token of their block, so
+      loop-body constants fire once per iteration;
+    - each array with at least one store carries a {e memory token}
+      threaded through all its stores (and joined into loads of that
+      array) to preserve memory ordering without an LSQ — the
+      conservative discipline of LSQ-less dataflow HLS;
+    - fan-out is resolved in a final pass that inserts eager forks, and
+      unconsumed outputs are sunk.
+
+    Scalar parameters are bound to compile-time constants via [args]
+    (the paper's kernels take array inputs; scalars are configuration). *)
+
+val compile : ?width:int -> ?args:(string * int) list -> Ast.func -> Dataflow.Graph.t
+(** Raises [Invalid_argument] on unbound variables or if the function
+    lacks a [return] (one is synthesised returning 0). *)

@@ -1,0 +1,99 @@
+exception Runaway
+
+exception Returned of int
+
+exception Break_loop
+
+exception Continue_loop
+
+let run ?(width = 8) ?(max_steps = 10_000_000) (f : Ast.func) ~args ~memories =
+  let mask = (1 lsl width) - 1 in
+  let steps = ref 0 in
+  let tick () =
+    incr steps;
+    if !steps > max_steps then raise Runaway
+  in
+  let vars : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let mems : (string, int array) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      match p with
+      | Ast.Scalar name ->
+        Hashtbl.replace vars name (Option.value (List.assoc_opt name args) ~default:0 land mask)
+      | Ast.Array (name, size) ->
+        let arr =
+          match List.assoc_opt name memories with Some a -> a | None -> Array.make size 0
+        in
+        Hashtbl.replace mems name arr)
+    f.Ast.params;
+  let mem_ref name idx =
+    let a = Hashtbl.find mems name in
+    if Array.length a = 0 then invalid_arg "empty array";
+    (a, abs idx mod Array.length a)
+  in
+  let rec eval e =
+    tick ();
+    match e with
+    | Ast.Int n -> n land mask
+    | Ast.Var x -> (
+      match Hashtbl.find_opt vars x with
+      | Some v -> v
+      | None -> invalid_arg ("Interp: unbound variable " ^ x))
+    | Ast.Load (a, idx) ->
+      let arr, i = mem_ref a (eval idx) in
+      arr.(i) land mask
+    | Ast.Not e -> if eval e = 0 then 1 else 0
+    | Ast.Ternary (c, a, b) -> if eval c <> 0 then eval a else eval b
+    | Ast.Binop (op, a, b) ->
+      let x = eval a and y = eval b in
+      let r =
+        match op with
+        | Ast.Add -> x + y
+        | Ast.Sub -> x - y
+        | Ast.Mul -> x * y
+        | Ast.Shl -> x lsl (y land 63)
+        | Ast.Lshr -> x lsr (y land 63)
+        | Ast.And -> x land y
+        | Ast.Or -> x lor y
+        | Ast.Xor -> x lxor y
+        | Ast.Eq -> if x = y then 1 else 0
+        | Ast.Ne -> if x <> y then 1 else 0
+        | Ast.Lt -> if x < y then 1 else 0
+        | Ast.Le -> if x <= y then 1 else 0
+        | Ast.Gt -> if x > y then 1 else 0
+        | Ast.Ge -> if x >= y then 1 else 0
+      in
+      r land mask
+  in
+  let rec exec_stmts stmts = List.iter exec stmts
+  and exec s =
+    tick ();
+    match s with
+    | Ast.Decl (x, e) | Ast.Assign (x, e) -> Hashtbl.replace vars x (eval e)
+    | Ast.Store (a, idx, e) ->
+      let v = eval e in
+      let arr, i = mem_ref a (eval idx) in
+      arr.(i) <- v
+    | Ast.If (c, t, f) -> if eval c <> 0 then exec_stmts t else exec_stmts f
+    | Ast.While (c, body) -> (
+      try
+        while eval c <> 0 do
+          try exec_stmts body with Continue_loop -> ()
+        done
+      with Break_loop -> ())
+    | Ast.For (init, c, step, body) -> (
+      exec init;
+      try
+        while eval c <> 0 do
+          (try exec_stmts body with Continue_loop -> ());
+          exec step
+        done
+      with Break_loop -> ())
+    | Ast.Return e -> raise (Returned (eval e))
+    | Ast.Break -> raise Break_loop
+    | Ast.Continue -> raise Continue_loop
+  in
+  try
+    exec_stmts f.Ast.body;
+    0
+  with Returned v -> v

@@ -1,0 +1,17 @@
+(** Reference interpreter of the mini-C AST with circuit semantics:
+    unsigned arithmetic modulo the datapath width, array indices wrapped
+    to the array size. Used to differentially test the compiled dataflow
+    circuit (the simulator must produce the same exit value). *)
+
+exception Runaway
+(** Raised when execution exceeds the step budget (infinite loop). *)
+
+val run :
+  ?width:int ->
+  ?max_steps:int ->
+  Ast.func ->
+  args:(string * int) list ->
+  memories:(string * int array) list ->
+  int
+(** [args] binds scalar parameters; [memories] binds array parameters
+    (mutated in place by stores). Default [width] 8, [max_steps] 10M. *)

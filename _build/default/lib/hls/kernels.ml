@@ -1,0 +1,278 @@
+type t = {
+  name : string;
+  source : string;
+  mems : unit -> (string * int array) list;
+}
+
+let data ~seed ~size ~range =
+  let rng = Support.Rng.create seed in
+  Array.init size (fun _ -> Support.Rng.int rng range)
+
+let insertion_sort =
+  {
+    name = "insertion_sort";
+    source =
+      {|
+int insertion_sort(int a[16]) {
+  for (int i = 1; i < 16; i = i + 1) {
+    int key = a[i];
+    int j = i;
+    int go = 1;
+    while ((j > 0) & go) {
+      int p = a[j - 1];
+      if (p > key) {
+        a[j] = p;
+        j = j - 1;
+      } else {
+        go = 0;
+      }
+    }
+    a[j] = key;
+  }
+  return a[10];
+}
+|};
+    mems = (fun () -> [ ("a", data ~seed:11 ~size:16 ~range:200) ]);
+  }
+
+let stencil_2d =
+  {
+    name = "stencil_2d";
+    source =
+      {|
+int stencil_2d(int orig[256], int sol[256], int filt[9]) {
+  int sum = 0;
+  for (int r = 0; r < 14; r = r + 1) {
+    for (int c = 0; c < 14; c = c + 1) {
+      int t = 0;
+      for (int k1 = 0; k1 < 3; k1 = k1 + 1) {
+        for (int k2 = 0; k2 < 3; k2 = k2 + 1) {
+          int m = filt[k1 * 3 + k2] * orig[((r + k1) << 4) + c + k2];
+          t = t + m;
+        }
+      }
+      sol[(r << 4) + c] = t;
+      sum = sum + t;
+    }
+  }
+  return sum;
+}
+|};
+    mems =
+      (fun () ->
+        [
+          ("orig", data ~seed:22 ~size:256 ~range:16);
+          ("sol", Array.make 256 0);
+          ("filt", data ~seed:23 ~size:9 ~range:4);
+        ]);
+  }
+
+let covariance =
+  {
+    name = "covariance";
+    source =
+      {|
+int covariance(int data[64], int cov[64], int mean[8]) {
+  for (int j = 0; j < 8; j = j + 1) {
+    int m = 0;
+    for (int i = 0; i < 8; i = i + 1) {
+      m = m + data[(i << 3) + j];
+    }
+    mean[j] = m >> 3;
+  }
+  for (int j1 = 0; j1 < 8; j1 = j1 + 1) {
+    for (int j2 = 0; j2 < 8; j2 = j2 + 1) {
+      int acc = 0;
+      for (int i2 = 0; i2 < 8; i2 = i2 + 1) {
+        acc = acc + (data[(i2 << 3) + j1] - mean[j1]) * (data[(i2 << 3) + j2] - mean[j2]);
+      }
+      cov[(j1 << 3) + j2] = acc;
+    }
+  }
+  return cov[9];
+}
+|};
+    mems =
+      (fun () ->
+        [
+          ("data", data ~seed:33 ~size:64 ~range:16);
+          ("cov", Array.make 64 0);
+          ("mean", Array.make 8 0);
+        ]);
+  }
+
+let gsum =
+  {
+    name = "gsum";
+    source =
+      {|
+int gsum(int a[100]) {
+  int s = 0;
+  for (int i = 0; i < 100; i = i + 1) {
+    int d = a[i];
+    if (d < 100) {
+      s = s + d;
+    }
+  }
+  return s;
+}
+|};
+    mems = (fun () -> [ ("a", data ~seed:44 ~size:100 ~range:150) ]);
+  }
+
+let gsumif =
+  {
+    name = "gsumif";
+    source =
+      {|
+int gsumif(int a[100]) {
+  int s = 0;
+  for (int i = 0; i < 100; i = i + 1) {
+    int d = a[i];
+    if (d < 64) {
+      s = s + d + d;
+    } else {
+      s = s + (d >> 1);
+    }
+  }
+  return s;
+}
+|};
+    mems = (fun () -> [ ("a", data ~seed:55 ~size:100 ~range:128) ]);
+  }
+
+let gaussian =
+  {
+    name = "gaussian";
+    source =
+      {|
+int gaussian(int c[16], int A[256]) {
+  for (int j = 1; j < 15; j = j + 1) {
+    for (int i = j + 1; i < 16; i = i + 1) {
+      for (int k = j; k < 16; k = k + 1) {
+        A[(i << 4) + k] = A[(i << 4) + k] - c[j] * A[(j << 4) + k];
+      }
+    }
+  }
+  return A[37];
+}
+|};
+    mems =
+      (fun () ->
+        [ ("c", data ~seed:66 ~size:16 ~range:4); ("A", data ~seed:67 ~size:256 ~range:32) ]);
+  }
+
+let matrix =
+  {
+    name = "matrix";
+    source =
+      {|
+int matrix(int A[64], int B[64], int C[64]) {
+  for (int i = 0; i < 8; i = i + 1) {
+    for (int j = 0; j < 8; j = j + 1) {
+      int acc = 0;
+      for (int k = 0; k < 8; k = k + 1) {
+        acc = acc + A[(i << 3) + k] * B[(k << 3) + j];
+      }
+      C[(i << 3) + j] = acc;
+    }
+  }
+  return C[9];
+}
+|};
+    mems =
+      (fun () ->
+        [
+          ("A", data ~seed:77 ~size:64 ~range:16);
+          ("B", data ~seed:78 ~size:64 ~range:16);
+          ("C", Array.make 64 0);
+        ]);
+  }
+
+let mvt =
+  {
+    name = "mvt";
+    source =
+      {|
+int mvt(int A[64], int x1[8], int x2[8], int y1[8], int y2[8]) {
+  for (int i = 0; i < 8; i = i + 1) {
+    int acc = x1[i];
+    for (int j = 0; j < 8; j = j + 1) {
+      acc = acc + A[(i << 3) + j] * y1[j];
+    }
+    x1[i] = acc;
+  }
+  for (int i2 = 0; i2 < 8; i2 = i2 + 1) {
+    int acc2 = x2[i2];
+    for (int j2 = 0; j2 < 8; j2 = j2 + 1) {
+      acc2 = acc2 + A[(j2 << 3) + i2] * y2[j2];
+    }
+    x2[i2] = acc2;
+  }
+  return x1[3] + x2[4];
+}
+|};
+    mems =
+      (fun () ->
+        [
+          ("A", data ~seed:88 ~size:64 ~range:16);
+          ("x1", data ~seed:89 ~size:8 ~range:16);
+          ("x2", data ~seed:90 ~size:8 ~range:16);
+          ("y1", data ~seed:91 ~size:8 ~range:16);
+          ("y2", data ~seed:92 ~size:8 ~range:16);
+        ]);
+  }
+
+let gemver =
+  {
+    name = "gemver";
+    source =
+      {|
+int gemver(int A[64], int u1[8], int v1[8], int u2[8], int v2[8], int x[8], int y[8], int w[8], int z[8]) {
+  for (int i = 0; i < 8; i = i + 1) {
+    for (int j = 0; j < 8; j = j + 1) {
+      A[(i << 3) + j] = A[(i << 3) + j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+  for (int i2 = 0; i2 < 8; i2 = i2 + 1) {
+    int acc = x[i2];
+    for (int j2 = 0; j2 < 8; j2 = j2 + 1) {
+      acc = acc + A[(j2 << 3) + i2] * y[j2];
+    }
+    x[i2] = acc + z[i2];
+  }
+  for (int i3 = 0; i3 < 8; i3 = i3 + 1) {
+    int acc2 = w[i3];
+    for (int j3 = 0; j3 < 8; j3 = j3 + 1) {
+      acc2 = acc2 + A[(i3 << 3) + j3] * x[j3];
+    }
+    w[i3] = acc2;
+  }
+  return w[5];
+}
+|};
+    mems =
+      (fun () ->
+        [
+          ("A", data ~seed:99 ~size:64 ~range:8);
+          ("u1", data ~seed:100 ~size:8 ~range:8);
+          ("v1", data ~seed:101 ~size:8 ~range:8);
+          ("u2", data ~seed:102 ~size:8 ~range:8);
+          ("v2", data ~seed:103 ~size:8 ~range:8);
+          ("x", data ~seed:104 ~size:8 ~range:8);
+          ("y", data ~seed:105 ~size:8 ~range:8);
+          ("w", data ~seed:106 ~size:8 ~range:8);
+          ("z", data ~seed:107 ~size:8 ~range:8);
+        ]);
+  }
+
+let all =
+  [ insertion_sort; stencil_2d; covariance; gsum; gsumif; gaussian; matrix; mvt; gemver ]
+
+let by_name name = List.find (fun k -> k.name = name) all
+
+let func k = Parser.parse k.source
+
+let graph ?width k = Compile.compile ?width (func k)
+
+let reference ?width k = Interp.run ?width (func k) ~args:[] ~memories:(k.mems ())

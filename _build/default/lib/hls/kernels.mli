@@ -1,0 +1,34 @@
+(** The paper's benchmark suite, §VI-A: kernels from recent dataflow-HLS
+    work and the PolyBench / MachSuite collections, written in the mini-C
+    subset.
+
+    Array extents are scaled down from the paper's (8-bit datapath, up to
+    256-element arrays) so that gate-level synthesis and cycle-accurate
+    simulation stay laptop-fast; this shrinks absolute cycle counts but
+    preserves the circuit structures (loop nests, guarded accumulation,
+    load-store dependencies) that the buffer-placement comparison is
+    about. *)
+
+type t = {
+  name : string;
+  source : string;                            (** mini-C text *)
+  mems : unit -> (string * int array) list;   (** fresh, deterministic inputs *)
+}
+
+val all : t list
+(** In the paper's Table I order: insertion_sort, stencil_2d, covariance,
+    gsum, gsumif, gaussian, matrix, mvt, gemver. *)
+
+val by_name : string -> t
+(** Raises [Not_found]. *)
+
+val func : t -> Ast.func
+(** Parse the kernel source. *)
+
+val graph : ?width:int -> t -> Dataflow.Graph.t
+(** Parse and compile to an (unbuffered) dataflow circuit; [width] is
+    the datapath bit-width (default 8). *)
+
+val reference : ?width:int -> t -> int
+(** Interpreter result on the kernel's own input data, at the matching
+    datapath width. *)

@@ -1,0 +1,132 @@
+type token =
+  | INT_KW
+  | IF | ELSE | FOR | WHILE | RETURN | BREAK | CONTINUE
+  | IDENT of string
+  | NUM of int
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  | ASSIGN
+  | PLUS | MINUS | STAR | SHL | SHR | AMP | PIPE | CARET | BANG
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+exception Error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "int" -> Some INT_KW
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "for" -> Some FOR
+  | "while" -> Some WHILE
+  | "return" -> Some RETURN
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | _ -> None
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i + 1 < n do
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Error ("unterminated comment", !i))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      emit (NUM (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      emit (match keyword word with Some t -> t | None -> IDENT word)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let adv2 t =
+        emit t;
+        i := !i + 2
+      in
+      let adv1 t =
+        emit t;
+        incr i
+      in
+      match two with
+      | "==" -> adv2 EQ
+      | "!=" -> adv2 NE
+      | "<=" -> adv2 LE
+      | ">=" -> adv2 GE
+      | "<<" -> adv2 SHL
+      | ">>" -> adv2 SHR
+      | _ -> (
+        match c with
+        | '(' -> adv1 LPAREN
+        | ')' -> adv1 RPAREN
+        | '{' -> adv1 LBRACE
+        | '}' -> adv1 RBRACE
+        | '[' -> adv1 LBRACKET
+        | ']' -> adv1 RBRACKET
+        | ';' -> adv1 SEMI
+        | ',' -> adv1 COMMA
+        | '?' -> adv1 QUESTION
+        | ':' -> adv1 COLON
+        | '=' -> adv1 ASSIGN
+        | '+' -> adv1 PLUS
+        | '-' -> adv1 MINUS
+        | '*' -> adv1 STAR
+        | '&' -> adv1 AMP
+        | '|' -> adv1 PIPE
+        | '^' -> adv1 CARET
+        | '!' -> adv1 BANG
+        | '<' -> adv1 LT
+        | '>' -> adv1 GT
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !i)))
+    end
+  done;
+  List.rev (EOF :: !tokens)
+
+let pp_token fmt t =
+  let s =
+    match t with
+    | INT_KW -> "int"
+    | IF -> "if" | ELSE -> "else" | FOR -> "for" | WHILE -> "while" | RETURN -> "return"
+    | BREAK -> "break" | CONTINUE -> "continue"
+    | IDENT s -> s
+    | NUM n -> string_of_int n
+    | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+    | LBRACKET -> "[" | RBRACKET -> "]"
+    | SEMI -> ";" | COMMA -> ","
+    | QUESTION -> "?" | COLON -> ":"
+    | ASSIGN -> "="
+    | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SHL -> "<<" | SHR -> ">>"
+    | AMP -> "&" | PIPE -> "|" | CARET -> "^" | BANG -> "!"
+    | EQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+    | EOF -> "<eof>"
+  in
+  Format.pp_print_string fmt s

@@ -1,0 +1,18 @@
+(** Hand-rolled lexer for the mini-C kernel language. *)
+
+type token =
+  | INT_KW
+  | IF | ELSE | FOR | WHILE | RETURN | BREAK | CONTINUE
+  | IDENT of string
+  | NUM of int
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  | ASSIGN
+  | PLUS | MINUS | STAR | SHL | SHR | AMP | PIPE | CARET | BANG
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+exception Error of string * int  (** message, byte offset *)
+
+val tokenize : string -> token list
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,71 @@
+(* Whether a statement list uses break/continue at ITS level (an inner
+   loop captures its own). *)
+let rec uses_bc stmts = List.exists uses_bc_stmt stmts
+
+and uses_bc_stmt = function
+  | Ast.Break | Ast.Continue -> true
+  | Ast.If (_, t, f) -> uses_bc t || uses_bc f
+  | Ast.While _ | Ast.For _ -> false
+  | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ -> false
+
+let counter = ref 0
+
+let fresh prefix =
+  incr counter;
+  Printf.sprintf "_%s%d" prefix !counter
+
+let not_flag v = Ast.Not (Ast.Var v)
+
+let guard brk skp rest =
+  if rest = [] then []
+  else [ Ast.If (Ast.Binop (Ast.And, not_flag brk, not_flag skp), rest, []) ]
+
+(* Rewrite one loop body: break -> brk := 1, continue -> skp := 1, with
+   everything after a potential flag assignment guarded. *)
+let rec rewrite_body ~brk ~skp stmts =
+  match stmts with
+  | [] -> []
+  | s :: rest -> (
+    match s with
+    | Ast.Break -> [ Ast.Assign (brk, Ast.Int 1) ] (* rest is unreachable *)
+    | Ast.Continue -> [ Ast.Assign (skp, Ast.Int 1) ]
+    | Ast.If (c, t, f) when uses_bc t || uses_bc f ->
+      Ast.If (c, rewrite_body ~brk ~skp t, rewrite_body ~brk ~skp f)
+      :: guard brk skp (rewrite_body ~brk ~skp rest)
+    | _ -> desugar_stmt s @ rewrite_body ~brk ~skp rest)
+
+(* Desugar nested constructs; loops whose bodies use break/continue get
+   the flag treatment.  A statement can expand to several. *)
+and desugar_stmt s =
+  match s with
+  | Ast.While (c, body) when uses_bc body ->
+    let brk = fresh "brk" and skp = fresh "skp" in
+    let body' = Ast.Decl (skp, Ast.Int 0) :: rewrite_body ~brk ~skp body in
+    [
+      Ast.Decl (brk, Ast.Int 0);
+      Ast.While (Ast.Binop (Ast.And, not_flag brk, c), body');
+    ]
+  | Ast.For (init, c, step, body) when uses_bc body ->
+    let brk = fresh "brk" and skp = fresh "skp" in
+    let body' =
+      (Ast.Decl (skp, Ast.Int 0) :: rewrite_body ~brk ~skp body)
+      @ [ Ast.If (not_flag brk, desugar_stmt step, []) ]
+    in
+    Ast.Decl (brk, Ast.Int 0)
+    :: (desugar_stmt init
+       @ [ Ast.While (Ast.Binop (Ast.And, not_flag brk, c), body') ])
+  | Ast.While (c, body) -> [ Ast.While (c, desugar_block body) ]
+  | Ast.For (init, c, step, body) -> (
+    match (desugar_stmt init, desugar_stmt step) with
+    | [ init' ], [ step' ] -> [ Ast.For (init', c, step', desugar_block body) ]
+    | _ -> invalid_arg "Lower.desugar: for header cannot expand")
+  | Ast.If (c, t, f) -> [ Ast.If (c, desugar_block t, desugar_block f) ]
+  | Ast.Break | Ast.Continue ->
+    invalid_arg "Lower.desugar: break/continue outside any loop"
+  | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ -> [ s ]
+
+and desugar_block stmts = List.concat_map desugar_stmt stmts
+
+let desugar (f : Ast.func) =
+  counter := 0;
+  { f with Ast.body = desugar_block f.Ast.body }

@@ -1,0 +1,26 @@
+(** AST-level desugaring of [break] / [continue] into the flag-guarded
+    form the structural circuit generator can compile:
+
+    {v
+    while (c) { A; if (p) break; B; }
+    v}
+
+    becomes
+
+    {v
+    int _brk = 0;
+    while (!_brk & c) {
+      int _skp = 0;
+      A;
+      if (p) { _brk = 1; } else { }
+      if (!_brk & !_skp) { B; }
+    }
+    v}
+
+    (with [continue] setting [_skp] instead). The reference interpreter
+    executes [break]/[continue] natively, so the differential tests
+    validate this lowering. *)
+
+val desugar : Ast.func -> Ast.func
+(** Raises [Invalid_argument] if [break]/[continue] appears outside any
+    loop. Programs without them are returned unchanged. *)

@@ -1,0 +1,253 @@
+exception Error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t =
+  if peek st = t then advance st
+  else
+    raise
+      (Error
+         (Format.asprintf "expected %a but found %a" Lexer.pp_token t Lexer.pp_token (peek st)))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> raise (Error (Format.asprintf "expected identifier, found %a" Lexer.pp_token t))
+
+(* ---- expressions, precedence climbing ---- *)
+
+let rec primary st =
+  match peek st with
+  | Lexer.NUM n ->
+    advance st;
+    Ast.Int n
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.MINUS ->
+    advance st;
+    Ast.Binop (Ast.Sub, Ast.Int 0, primary st)
+  | Lexer.BANG ->
+    advance st;
+    Ast.Not (primary st)
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.LBRACKET ->
+      advance st;
+      let idx = expr st in
+      expect st Lexer.RBRACKET;
+      Ast.Load (name, idx)
+    | _ -> Ast.Var name)
+  | t -> raise (Error (Format.asprintf "unexpected token %a in expression" Lexer.pp_token t))
+
+and mul_expr st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, acc, primary st))
+    | _ -> acc
+  in
+  loop (primary st)
+
+and add_expr st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, acc, mul_expr st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, acc, mul_expr st))
+    | _ -> acc
+  in
+  loop (mul_expr st)
+
+and shift_expr st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.SHL ->
+      advance st;
+      loop (Ast.Binop (Ast.Shl, acc, add_expr st))
+    | Lexer.SHR ->
+      advance st;
+      loop (Ast.Binop (Ast.Lshr, acc, add_expr st))
+    | _ -> acc
+  in
+  loop (add_expr st)
+
+and cmp_expr st =
+  let lhs = shift_expr st in
+  let mk op =
+    advance st;
+    Ast.Binop (op, lhs, shift_expr st)
+  in
+  match peek st with
+  | Lexer.EQ -> mk Ast.Eq
+  | Lexer.NE -> mk Ast.Ne
+  | Lexer.LT -> mk Ast.Lt
+  | Lexer.LE -> mk Ast.Le
+  | Lexer.GT -> mk Ast.Gt
+  | Lexer.GE -> mk Ast.Ge
+  | _ -> lhs
+
+and bit_expr st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.AMP ->
+      advance st;
+      loop (Ast.Binop (Ast.And, acc, cmp_expr st))
+    | Lexer.PIPE ->
+      advance st;
+      loop (Ast.Binop (Ast.Or, acc, cmp_expr st))
+    | Lexer.CARET ->
+      advance st;
+      loop (Ast.Binop (Ast.Xor, acc, cmp_expr st))
+    | _ -> acc
+  in
+  loop (cmp_expr st)
+
+and expr st =
+  let c = bit_expr st in
+  match peek st with
+  | Lexer.QUESTION ->
+    advance st;
+    let a = expr st in
+    expect st Lexer.COLON;
+    let b = expr st in
+    Ast.Ternary (c, a, b)
+  | _ -> c
+
+(* ---- statements ---- *)
+
+let rec simple_stmt st =
+  match peek st with
+  | Lexer.INT_KW ->
+    advance st;
+    let name = ident st in
+    expect st Lexer.ASSIGN;
+    let e = expr st in
+    Ast.Decl (name, e)
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.LBRACKET ->
+      advance st;
+      let idx = expr st in
+      expect st Lexer.RBRACKET;
+      expect st Lexer.ASSIGN;
+      let e = expr st in
+      Ast.Store (name, idx, e)
+    | Lexer.ASSIGN ->
+      advance st;
+      let e = expr st in
+      Ast.Assign (name, e)
+    | t -> raise (Error (Format.asprintf "unexpected %a after identifier" Lexer.pp_token t)))
+  | t -> raise (Error (Format.asprintf "unexpected %a at statement start" Lexer.pp_token t))
+
+and block st =
+  expect st Lexer.LBRACE;
+  let rec loop acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (stmt st :: acc)
+  in
+  loop []
+
+and stmt st =
+  match peek st with
+  | Lexer.IF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = expr st in
+    expect st Lexer.RPAREN;
+    let then_ = block st in
+    let else_ =
+      if peek st = Lexer.ELSE then begin
+        advance st;
+        block st
+      end
+      else []
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.WHILE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = expr st in
+    expect st Lexer.RPAREN;
+    Ast.While (cond, block st)
+  | Lexer.FOR ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let init = simple_stmt st in
+    expect st Lexer.SEMI;
+    let cond = expr st in
+    expect st Lexer.SEMI;
+    let step = simple_stmt st in
+    expect st Lexer.RPAREN;
+    Ast.For (init, cond, step, block st)
+  | Lexer.RETURN ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.SEMI;
+    Ast.Return e
+  | Lexer.BREAK ->
+    advance st;
+    expect st Lexer.SEMI;
+    Ast.Break
+  | Lexer.CONTINUE ->
+    advance st;
+    expect st Lexer.SEMI;
+    Ast.Continue
+  | _ ->
+    let s = simple_stmt st in
+    expect st Lexer.SEMI;
+    s
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  expect st Lexer.INT_KW;
+  let fname = ident st in
+  expect st Lexer.LPAREN;
+  let rec params acc =
+    match peek st with
+    | Lexer.RPAREN ->
+      advance st;
+      List.rev acc
+    | Lexer.COMMA ->
+      advance st;
+      params acc
+    | Lexer.INT_KW -> (
+      advance st;
+      let name = ident st in
+      match peek st with
+      | Lexer.LBRACKET ->
+        advance st;
+        let size = match peek st with
+          | Lexer.NUM n ->
+            advance st;
+            n
+          | t -> raise (Error (Format.asprintf "expected array size, found %a" Lexer.pp_token t))
+        in
+        expect st Lexer.RBRACKET;
+        params (Ast.Array (name, size) :: acc)
+      | _ -> params (Ast.Scalar name :: acc))
+    | t -> raise (Error (Format.asprintf "unexpected %a in parameter list" Lexer.pp_token t))
+  in
+  let params = params [] in
+  let body = block st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t -> raise (Error (Format.asprintf "trailing input: %a" Lexer.pp_token t)));
+  { Ast.fname; params; body }

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the mini-C kernel language.
+
+    Grammar (C-like precedence, loosest to tightest:
+    [| ^ &], comparisons, shifts, [+ -], [*], unary):
+
+    {v
+    func   := 'int' ident '(' param,* ')' '{' stmt* '}'
+    param  := 'int' ident ('[' num ']')?
+    stmt   := 'int' ident '=' expr ';'
+            | ident '=' expr ';'
+            | ident '[' expr ']' '=' expr ';'
+            | 'if' '(' expr ')' block ('else' block)?
+            | 'while' '(' expr ')' block
+            | 'for' '(' simple ';' expr ';' simple ')' block
+            | 'return' expr ';'
+    v} *)
+
+exception Error of string
+
+val parse : string -> Ast.func
+(** Raises [Error] or [Lexer.Error] on malformed input. *)

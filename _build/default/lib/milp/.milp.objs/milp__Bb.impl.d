@@ -1,0 +1,1 @@
+lib/milp/bb.ml: Array Float List Lp Simplex Unix

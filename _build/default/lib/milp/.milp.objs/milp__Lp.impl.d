@@ -1,0 +1,1 @@
+lib/milp/lp.ml: Array Format Hashtbl List Option Printf Support

@@ -1,0 +1,1 @@
+lib/milp/simplex.ml: Array Hashtbl List Lp Option

@@ -1,0 +1,168 @@
+type result =
+  | Optimal of { obj : float; x : float array; proved_optimal : bool; nodes : int }
+  | Infeasible
+  | Unbounded
+
+type node = { bound : float; fixes : (int * float * float) list }
+
+(* max-heap on the relaxation bound (for maximisation; bounds are negated
+   for minimisation so the heap order is uniform) *)
+module Heap = struct
+  type t = { mutable data : node array; mutable len : int }
+
+  let create () = { data = Array.make 64 { bound = 0.; fixes = [] }; len = 0 }
+
+  let push h n =
+    if h.len = Array.length h.data then begin
+      let d = Array.make (2 * h.len) n in
+      Array.blit h.data 0 d 0 h.len;
+      h.data <- d
+    end;
+    h.data.(h.len) <- n;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && h.data.((!i - 1) / 2).bound < h.data.(!i).bound do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      h.data.(0) <- h.data.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let largest = ref !i in
+        if l < h.len && h.data.(l).bound > h.data.(!largest).bound then largest := l;
+        if r < h.len && h.data.(r).bound > h.data.(!largest).bound then largest := r;
+        if !largest = !i then continue := false
+        else begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!largest);
+          h.data.(!largest) <- tmp;
+          i := !largest
+        end
+      done;
+      Some top
+    end
+end
+
+let solve ?(node_limit = 50_000) ?(eps = 1e-6) ?(time_limit = 120.) ?initial lp =
+  let started = Unix.gettimeofday () in
+  let maximize, _ = Lp.objective lp in
+  let sense = if maximize then 1. else -1. in
+  let nv = Lp.n_vars lp in
+  let int_vars =
+    List.filter
+      (fun v -> match Lp.var_kind lp v with Lp.Binary | Lp.Integer -> true | Lp.Continuous -> false)
+      (List.init nv (fun i -> i))
+  in
+  let original_bounds = Array.init nv (fun v -> Lp.bounds lp v) in
+  let restore () =
+    Array.iteri (fun v (lo, hi) -> Lp.set_bounds lp v ~lo ~hi) original_bounds
+  in
+  let apply_fixes fixes =
+    restore ();
+    List.iter (fun (v, lo, hi) -> Lp.set_bounds lp v ~lo ~hi) fixes
+  in
+  let frac x = abs_float (x -. Float.round x) in
+  let most_fractional x =
+    List.fold_left
+      (fun best v ->
+        let f = frac x.(v) in
+        if f > eps then match best with Some (_, bf) when bf >= f -> best | _ -> Some (v, f)
+        else best)
+      None int_vars
+  in
+  let incumbent =
+    ref
+      (match initial with
+      | Some x0
+        when Array.length x0 = nv
+             && Lp.feasible lp x0
+             && List.for_all (fun v -> abs_float (x0.(v) -. Float.round x0.(v)) <= eps) int_vars ->
+        Some (Lp.eval_expr (snd (Lp.objective lp)) x0, Array.copy x0)
+      | _ -> None)
+  in
+  let nodes = ref 0 in
+  let heap = Heap.create () in
+  let relax fixes =
+    apply_fixes fixes;
+    Simplex.solve lp
+  in
+  let better obj =
+    match !incumbent with None -> true | Some (bo, _) -> sense *. obj > (sense *. bo) +. 1e-9
+  in
+  let root = relax [] in
+  let result =
+    match root with
+    | Simplex.Infeasible -> Infeasible
+    | Simplex.Unbounded -> Unbounded
+    | Simplex.Optimal { obj; x } -> (
+      (match most_fractional x with
+      | None -> incumbent := Some (obj, x)
+      | Some (v, _) ->
+        Heap.push heap { bound = sense *. obj; fixes = [] };
+        ignore v);
+      let exhausted = ref false in
+      let continue = ref true in
+      while !continue do
+        match Heap.pop heap with
+        | None -> continue := false
+        | Some nd ->
+          if !nodes >= node_limit || Unix.gettimeofday () -. started > time_limit then begin
+            exhausted := true;
+            continue := false
+          end
+          else begin
+            incr nodes;
+            (* prune against incumbent *)
+            let prune =
+              match !incumbent with
+              | Some (bo, _) -> nd.bound <= (sense *. bo) +. 1e-9
+              | None -> false
+            in
+            if not prune then begin
+              match relax nd.fixes with
+              | Simplex.Infeasible -> ()
+              | Simplex.Unbounded -> ()
+              | Simplex.Optimal { obj; x } -> (
+                if (not (better obj)) then ()
+                else
+                  match most_fractional x with
+                  | None -> incumbent := Some (obj, Array.copy x)
+                  | Some (v, _) ->
+                    let lo, hi = original_bounds.(v) in
+                    let lo =
+                      List.fold_left (fun acc (w, l, _) -> if w = v then max acc l else acc) lo nd.fixes
+                    in
+                    let hi =
+                      List.fold_left (fun acc (w, _, h) -> if w = v then min acc h else acc) hi nd.fixes
+                    in
+                    let f = Float.of_int (int_of_float (floor (x.(v) +. 1e-9))) in
+                    if f >= lo -. 1e-9 then
+                      Heap.push heap
+                        { bound = sense *. obj; fixes = (v, lo, f) :: nd.fixes };
+                    if f +. 1. <= hi +. 1e-9 then
+                      Heap.push heap
+                        { bound = sense *. obj; fixes = (v, f +. 1., hi) :: nd.fixes })
+            end
+          end
+      done;
+      match !incumbent with
+      | None -> Infeasible
+      | Some (obj, x) ->
+        (* round integer variables exactly *)
+        let x = Array.copy x in
+        List.iter (fun v -> x.(v) <- Float.round x.(v)) int_vars;
+        Optimal { obj; x; proved_optimal = not !exhausted; nodes = !nodes })
+  in
+  restore ();
+  result

@@ -1,0 +1,20 @@
+(** Branch & bound over the simplex relaxation: the MILP solver proper.
+
+    Best-first search on the relaxation bound, branching on the most
+    fractional integer variable. A node budget bounds the search; if it is
+    exhausted the best incumbent is returned with [proved_optimal =
+    false] (the paper's Gurobi runs are always optimal; our instances are
+    small enough that the budget is rarely hit). *)
+
+type result =
+  | Optimal of { obj : float; x : float array; proved_optimal : bool; nodes : int }
+  | Infeasible
+  | Unbounded
+
+val solve :
+  ?node_limit:int -> ?eps:float -> ?time_limit:float -> ?initial:float array -> Lp.t -> result
+(** Defaults: [node_limit = 50_000], integrality tolerance [eps = 1e-6],
+    [time_limit = 120.] seconds (wall clock; on expiry the incumbent is
+    returned with [proved_optimal = false], mirroring a solver time
+    limit). [initial], when feasible and integral, seeds the incumbent
+    so the search starts with a pruning bound. *)

@@ -1,0 +1,92 @@
+type var_kind = Continuous | Binary | Integer
+
+type relation = Le | Ge | Eq
+
+type var = { vname : string; mutable lo : float; mutable hi : float; kind : var_kind }
+
+type constr = { cname : string; terms : (float * int) list; rel : relation; rhs : float }
+
+type t = {
+  mname : string;
+  vars : var Support.Vec.t;
+  constrs : constr Support.Vec.t;
+  mutable maximize : bool;
+  mutable obj : (float * int) list;
+}
+
+let create mname =
+  { mname; vars = Support.Vec.create (); constrs = Support.Vec.create (); maximize = true; obj = [] }
+
+let name t = t.mname
+
+let add_var t ?(lo = 0.) ?(hi = infinity) ?(kind = Continuous) vname =
+  let lo, hi = match kind with Binary -> (max lo 0., min hi 1.) | _ -> (lo, hi) in
+  if lo > hi then invalid_arg (Printf.sprintf "Lp.add_var %s: lo > hi" vname);
+  Support.Vec.push t.vars { vname; lo; hi; kind }
+
+let n_vars t = Support.Vec.length t.vars
+let var_name t i = (Support.Vec.get t.vars i).vname
+let var_kind t i = (Support.Vec.get t.vars i).kind
+let bounds t i =
+  let v = Support.Vec.get t.vars i in
+  (v.lo, v.hi)
+
+let set_bounds t i ~lo ~hi =
+  let v = Support.Vec.get t.vars i in
+  v.lo <- lo;
+  v.hi <- hi
+
+(* merge duplicate variables in a term list *)
+let normalize terms =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (c, v) -> Hashtbl.replace tbl v (c +. Option.value (Hashtbl.find_opt tbl v) ~default:0.))
+    terms;
+  Hashtbl.fold (fun v c acc -> if c = 0. then acc else (c, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let add_constr t ?(name = "") terms rel rhs =
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= n_vars t then invalid_arg "Lp.add_constr: variable out of range")
+    terms;
+  ignore (Support.Vec.push t.constrs { cname = name; terms = normalize terms; rel; rhs })
+
+let n_constrs t = Support.Vec.length t.constrs
+
+let constr t i =
+  let c = Support.Vec.get t.constrs i in
+  (c.terms, c.rel, c.rhs)
+
+let set_objective t ~maximize terms =
+  t.maximize <- maximize;
+  t.obj <- normalize terms
+
+let objective t = (t.maximize, t.obj)
+
+let eval_expr terms x = List.fold_left (fun acc (c, v) -> acc +. (c *. x.(v))) 0. terms
+
+let feasible t ?(eps = 1e-6) x =
+  let ok = ref (Array.length x = n_vars t) in
+  if !ok then begin
+    Support.Vec.iteri
+      (fun i v ->
+        if x.(i) < v.lo -. eps || x.(i) > v.hi +. eps then ok := false)
+      t.vars;
+    Support.Vec.iter
+      (fun c ->
+        let lhs = eval_expr c.terms x in
+        match c.rel with
+        | Le -> if lhs > c.rhs +. eps then ok := false
+        | Ge -> if lhs < c.rhs -. eps then ok := false
+        | Eq -> if abs_float (lhs -. c.rhs) > eps then ok := false)
+      t.constrs
+  end;
+  !ok
+
+let pp_stats fmt t =
+  let binaries =
+    Support.Vec.fold (fun acc v -> if v.kind = Binary then acc + 1 else acc) 0 t.vars
+  in
+  Format.fprintf fmt "%s: %d vars (%d binary), %d constraints" t.mname (n_vars t) binaries
+    (n_constrs t)

@@ -1,0 +1,41 @@
+(** Linear / mixed-integer model builder.
+
+    This is the modelling layer that replaces Gurobi in the paper's flow.
+    Variables have bounds and a kind; constraints are linear with
+    [<=], [>=] or [=]; the objective is a linear expression. *)
+
+type var_kind = Continuous | Binary | Integer
+
+type relation = Le | Ge | Eq
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val add_var : t -> ?lo:float -> ?hi:float -> ?kind:var_kind -> string -> int
+(** Defaults: [lo = 0.], [hi = infinity], [kind = Continuous]. Binary
+    variables are clamped to [\[0, 1\]]. Returns the variable index. *)
+
+val n_vars : t -> int
+val var_name : t -> int -> string
+val var_kind : t -> int -> var_kind
+val bounds : t -> int -> float * float
+val set_bounds : t -> int -> lo:float -> hi:float -> unit
+
+val add_constr : t -> ?name:string -> (float * int) list -> relation -> float -> unit
+(** [add_constr t terms rel rhs] adds [sum terms rel rhs]; terms are
+    (coefficient, variable) pairs, repeated variables are summed. *)
+
+val n_constrs : t -> int
+val constr : t -> int -> (float * int) list * relation * float
+
+val set_objective : t -> maximize:bool -> (float * int) list -> unit
+val objective : t -> bool * (float * int) list
+
+val eval_expr : (float * int) list -> float array -> float
+
+val feasible : t -> ?eps:float -> float array -> bool
+(** Whether an assignment satisfies all constraints and bounds. *)
+
+val pp_stats : Format.formatter -> t -> unit

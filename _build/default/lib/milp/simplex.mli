@@ -1,0 +1,15 @@
+(** Dense two-phase primal simplex for the LP relaxation.
+
+    Textbook tableau implementation with Dantzig pricing and a Bland's-rule
+    fallback to guarantee termination. Problem sizes in this project are a
+    few hundred variables and constraints, well within dense range. *)
+
+type result =
+  | Optimal of { obj : float; x : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : Lp.t -> result
+(** Solves the continuous relaxation of the model (integrality is handled
+    by {!Bb}). Variable bounds are honoured; free variables are split
+    internally. *)

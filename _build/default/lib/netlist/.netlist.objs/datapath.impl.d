@@ -1,0 +1,1 @@
+lib/netlist/datapath.ml: Array Dataflow Net

@@ -1,0 +1,1 @@
+lib/netlist/datapath.mli: Dataflow Net

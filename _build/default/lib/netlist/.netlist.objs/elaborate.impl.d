@@ -1,0 +1,1 @@
+lib/netlist/elaborate.ml: Array Dataflow Datapath List Net Printf

@@ -1,0 +1,1 @@
+lib/netlist/elaborate.mli: Dataflow Net

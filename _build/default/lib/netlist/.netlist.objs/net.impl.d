@@ -1,0 +1,1 @@
+lib/netlist/net.ml: Array Hashtbl List Printf String Support

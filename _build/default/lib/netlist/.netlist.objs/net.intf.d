@@ -1,0 +1,1 @@
+lib/netlist/net.mli:

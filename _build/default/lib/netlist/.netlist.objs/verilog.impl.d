@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer List Net Printf String

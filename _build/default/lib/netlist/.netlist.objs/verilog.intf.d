@@ -1,0 +1,1 @@
+lib/netlist/verilog.mli: Net

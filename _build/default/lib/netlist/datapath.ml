@@ -1,0 +1,145 @@
+type bv = int array
+
+let dom = Net.Data
+
+let const_bv net ~owner ~width v =
+  Array.init width (fun i -> Net.const net ~owner ~dom ((v lsr i) land 1 = 1))
+
+let zero net ~owner ~width = const_bv net ~owner ~width 0
+
+let check_widths a b =
+  if Array.length a <> Array.length b then invalid_arg "Datapath: width mismatch"
+
+(* Full adder chain.  carry_in fixed at [cin]. *)
+let ripple net ~owner a b cin =
+  check_widths a b;
+  let w = Array.length a in
+  let sum = Array.make w 0 in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let axb = Net.xor2 net ~owner a.(i) b.(i) in
+    sum.(i) <- Net.xor2 net ~owner axb !carry;
+    let c1 = Net.and2 net ~owner a.(i) b.(i) in
+    let c2 = Net.and2 net ~owner axb !carry in
+    carry := Net.or2 net ~owner c1 c2
+  done;
+  (sum, !carry)
+
+let add net ~owner a b =
+  let cin = Net.const net ~owner ~dom false in
+  fst (ripple net ~owner a b cin)
+
+let sub net ~owner a b =
+  let nb = Array.map (fun x -> Net.not_ net ~owner x) b in
+  let cin = Net.const net ~owner ~dom true in
+  fst (ripple net ~owner a nb cin)
+
+let map2 f a b =
+  check_widths a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let band net ~owner a b = map2 (fun x y -> Net.and2 net ~owner x y) a b
+let bor net ~owner a b = map2 (fun x y -> Net.or2 net ~owner x y) a b
+let bxor net ~owner a b = map2 (fun x y -> Net.xor2 net ~owner x y) a b
+
+let eq net ~owner a b =
+  let bits = Array.to_list (map2 (fun x y -> Net.not_ net ~owner (Net.xor2 net ~owner x y)) a b) in
+  Net.and_list net ~owner ~dom bits
+
+let ne net ~owner a b = Net.not_ net ~owner (eq net ~owner a b)
+
+(* Unsigned less-than as the borrow out of a - b. *)
+let ult net ~owner a b =
+  check_widths a b;
+  let w = Array.length a in
+  let borrow = ref (Net.const net ~owner ~dom false) in
+  for i = 0 to w - 1 do
+    let na = Net.not_ net ~owner a.(i) in
+    let t1 = Net.and2 net ~owner na b.(i) in
+    let same = Net.not_ net ~owner (Net.xor2 net ~owner a.(i) b.(i)) in
+    let t2 = Net.and2 net ~owner same !borrow in
+    borrow := Net.or2 net ~owner t1 t2
+  done;
+  !borrow
+
+let ule net ~owner a b =
+  let lt = ult net ~owner a b in
+  let e = eq net ~owner a b in
+  Net.or2 net ~owner lt e
+
+let mux net ~owner ~sel a b = map2 (fun x y -> Net.mux2 net ~owner ~sel x y) a b
+
+let shift_layer net ~owner dir v amount_bit k =
+  let w = Array.length v in
+  let shifted =
+    Array.init w (fun i ->
+        let j = if dir = `Left then i - (1 lsl k) else i + (1 lsl k) in
+        if j < 0 || j >= w then Net.const net ~owner ~dom false else v.(j))
+  in
+  map2 (fun s orig -> Net.mux2 net ~owner ~sel:amount_bit s orig) shifted v
+
+let var_shift net ~owner dir a b =
+  let w = Array.length a in
+  let sbits =
+    let rec bits n acc = if 1 lsl acc >= n then acc else bits n (acc + 1) in
+    max 1 (bits w 0)
+  in
+  let v = ref a in
+  for k = 0 to min sbits (Array.length b) - 1 do
+    v := shift_layer net ~owner dir !v b.(k) k
+  done;
+  (* Any set amount bit beyond the width forces zero. *)
+  let high = Array.to_list (Array.sub b (min sbits (Array.length b)) (max 0 (Array.length b - sbits))) in
+  match high with
+  | [] -> !v
+  | _ ->
+    let any = Net.or_list net ~owner ~dom high in
+    let nany = Net.not_ net ~owner any in
+    Array.map (fun bit -> Net.and2 net ~owner bit nany) !v
+
+let shl_var net ~owner a b = var_shift net ~owner `Left a b
+let lshr_var net ~owner a b = var_shift net ~owner `Right a b
+
+let mul_row net ~owner ~acc ~a ~b_bit ~row =
+  let w = Array.length acc in
+  let shifted =
+    Array.init w (fun i ->
+        if i - row < 0 then Net.const net ~owner ~dom false
+        else Net.and2 net ~owner a.(i - row) b_bit)
+  in
+  add net ~owner acc shifted
+
+let mul_comb net ~owner a b =
+  let w = Array.length a in
+  let acc = ref (zero net ~owner ~width:w) in
+  for row = 0 to min w (Array.length b) - 1 do
+    acc := mul_row net ~owner ~acc:!acc ~a ~b_bit:b.(row) ~row
+  done;
+  !acc
+
+let of_op net ~owner (op : Dataflow.Ops.t) args =
+  let bool_to_bv width bit =
+    Array.init width (fun i -> if i = 0 then bit else Net.const net ~owner ~dom false)
+  in
+  match op, args with
+  | Dataflow.Ops.Add, [ a; b ] -> add net ~owner a b
+  | Dataflow.Ops.Sub, [ a; b ] -> sub net ~owner a b
+  | Dataflow.Ops.Mul, [ a; b ] -> mul_comb net ~owner a b
+  | Dataflow.Ops.Shl, [ a; b ] -> shl_var net ~owner a b
+  | Dataflow.Ops.Lshr, [ a; b ] -> lshr_var net ~owner a b
+  | Dataflow.Ops.And_, [ a; b ] -> band net ~owner a b
+  | Dataflow.Ops.Or_, [ a; b ] -> bor net ~owner a b
+  | Dataflow.Ops.Xor_, [ a; b ] -> bxor net ~owner a b
+  | Dataflow.Ops.Icmp c, [ a; b ] ->
+    let bit =
+      match c with
+      | Dataflow.Ops.Eq -> eq net ~owner a b
+      | Dataflow.Ops.Ne -> ne net ~owner a b
+      | Dataflow.Ops.Lt -> ult net ~owner a b
+      | Dataflow.Ops.Le -> ule net ~owner a b
+      | Dataflow.Ops.Gt -> ult net ~owner b a
+      | Dataflow.Ops.Ge -> ule net ~owner b a
+    in
+    bool_to_bv 1 bit
+  | Dataflow.Ops.Select, [ c; a; b ] -> mux net ~owner ~sel:c.(0) a b
+  | _ -> invalid_arg "Datapath.of_op: arity mismatch"

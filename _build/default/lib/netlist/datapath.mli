@@ -1,0 +1,43 @@
+(** Gate-level datapath generators.
+
+    A bit-vector is an array of gate ids, least-significant bit first.
+    All arithmetic is unsigned two's-complement at the given width (the
+    benchmark kernels only manipulate non-negative values, matching the
+    paper's integer workloads). *)
+
+type bv = int array
+
+val const_bv : Net.t -> owner:int -> width:int -> int -> bv
+val zero : Net.t -> owner:int -> width:int -> bv
+
+val add : Net.t -> owner:int -> bv -> bv -> bv
+(** Ripple-carry adder; carry out dropped. *)
+
+val sub : Net.t -> owner:int -> bv -> bv -> bv
+
+val band : Net.t -> owner:int -> bv -> bv -> bv
+val bor : Net.t -> owner:int -> bv -> bv -> bv
+val bxor : Net.t -> owner:int -> bv -> bv -> bv
+
+val eq : Net.t -> owner:int -> bv -> bv -> int
+val ne : Net.t -> owner:int -> bv -> bv -> int
+val ult : Net.t -> owner:int -> bv -> bv -> int
+val ule : Net.t -> owner:int -> bv -> bv -> int
+
+val mux : Net.t -> owner:int -> sel:int -> bv -> bv -> bv
+(** [mux ~sel a b] = sel ? a : b, bitwise. *)
+
+val shl_var : Net.t -> owner:int -> bv -> bv -> bv
+(** Barrel shifter, amount from the low bits of the second operand;
+    shifts larger than the width yield zero. *)
+
+val lshr_var : Net.t -> owner:int -> bv -> bv -> bv
+
+val mul_row : Net.t -> owner:int -> acc:bv -> a:bv -> b_bit:int -> row:int -> bv
+(** One shift-add row of a sequential-style multiplier:
+    [acc + (b_bit ? a << row : 0)], truncated to the accumulator width.
+    The elaborator interleaves rows with pipeline registers. *)
+
+val of_op : Net.t -> owner:int -> Dataflow.Ops.t -> bv list -> bv
+(** Combinational elaboration of a whole operator (multiplication as all
+    rows unrolled; used for latency-0 configurations and for testing). *)

@@ -1,0 +1,23 @@
+(** Elaboration of a dataflow graph into a gate-level netlist.
+
+    Replaces the paper's RTL generation + ODIN-II/Yosys step. Every unit
+    becomes its datapath plus the elastic handshake logic (valid forward,
+    ready backward); buffered channels become 2-slot elastic buffers whose
+    registers cut all three timing domains. Every gate is labelled with
+    the unit it came from, which is the labelling the LUT-to-DFG mapper
+    (§IV-A) relies on.
+
+    Forks are eager, so the valid network never depends combinationally
+    on ready and the only possible combinational cycles are unbuffered
+    DFG cycles — which the flow prevents by seeding buffers on loop back
+    edges ({!Dataflow.Analysis.back_edges}). *)
+
+val run : Dataflow.Graph.t -> Net.t
+(** Elaborate the graph with its current buffer annotations. Raises
+    [Invalid_argument] if the graph does not validate. *)
+
+val interaction_units : Dataflow.Graph.t -> Dataflow.Graph.unit_id list
+(** Units where timing domains meet (branches, muxes, merges, pipelined
+    units): the connection points the §IV-D mapping uses to reconstruct
+    cross-domain paths. This is the information the FPL'22 model provides
+    in the paper. *)

@@ -1,0 +1,71 @@
+let sanitize s =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      then c
+      else '_')
+    s
+
+let wire_name net id =
+  match (Net.gate net id).Net.kind with
+  | Net.Input nm -> sanitize nm
+  | Net.Output nm -> sanitize nm
+  | _ -> Printf.sprintf "n%d" id
+
+let of_netlist net =
+  let buf = Buffer.create 8192 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let inputs =
+    List.filter_map
+      (fun id -> match (Net.gate net id).Net.kind with Net.Input nm -> Some (sanitize nm) | _ -> None)
+      (Net.inputs net)
+  in
+  let outputs =
+    List.filter_map
+      (fun id -> match (Net.gate net id).Net.kind with Net.Output nm -> Some (sanitize nm) | _ -> None)
+      (Net.outputs net)
+  in
+  pr "module %s (\n  input wire clk,\n  input wire rst" (sanitize (Net.name net));
+  List.iter (fun nm -> pr ",\n  input wire %s" nm) inputs;
+  List.iter (fun nm -> pr ",\n  output wire %s" nm) outputs;
+  pr "\n);\n\n";
+  (* declarations *)
+  Net.iter net (fun g ->
+      match g.Net.kind with
+      | Net.Input _ | Net.Output _ -> ()
+      | Net.Ff _ -> pr "  reg n%d;\n" g.Net.id
+      | _ -> pr "  wire n%d;\n" g.Net.id);
+  pr "\n";
+  (* combinational assigns *)
+  let w id = wire_name net id in
+  Net.iter net (fun g ->
+      let f i = w g.Net.fanins.(i) in
+      match g.Net.kind with
+      | Net.Input _ -> ()
+      | Net.Output _ -> pr "  assign %s = %s;\n" (w g.Net.id) (f 0)
+      | Net.Const b -> pr "  assign n%d = 1'b%d;\n" g.Net.id (if b then 1 else 0)
+      | Net.Buf -> pr "  assign n%d = %s;\n" g.Net.id (f 0)
+      | Net.Not -> pr "  assign n%d = ~%s;\n" g.Net.id (f 0)
+      | Net.And2 -> pr "  assign n%d = %s & %s;\n" g.Net.id (f 0) (f 1)
+      | Net.Or2 -> pr "  assign n%d = %s | %s;\n" g.Net.id (f 0) (f 1)
+      | Net.Xor2 -> pr "  assign n%d = %s ^ %s;\n" g.Net.id (f 0) (f 1)
+      | Net.Ff _ -> ());
+  (* registers *)
+  pr "\n  always @(posedge clk) begin\n";
+  pr "    if (rst) begin\n";
+  List.iter
+    (fun id ->
+      match (Net.gate net id).Net.kind with
+      | Net.Ff init -> pr "      n%d <= 1'b%d;\n" id (if init then 1 else 0)
+      | _ -> ())
+    (Net.ffs net);
+  pr "    end else begin\n";
+  List.iter
+    (fun id ->
+      let g = Net.gate net id in
+      pr "      n%d <= %s;\n" id (w g.Net.fanins.(0)))
+    (Net.ffs net);
+  pr "    end\n  end\n\nendmodule\n";
+  Buffer.contents buf
+
+let to_channel oc net = output_string oc (of_netlist net)

@@ -1,0 +1,9 @@
+(** Structural Verilog export of the gate-level netlist: one wire per
+    gate output, primitive [assign]s for logic, an always-block register
+    bank for flip-flops. Lets the elaborated circuits be fed to standard
+    RTL tools (the role Dynamatic's VHDL backend plays in the paper's
+    flow). *)
+
+val of_netlist : Net.t -> string
+
+val to_channel : out_channel -> Net.t -> unit

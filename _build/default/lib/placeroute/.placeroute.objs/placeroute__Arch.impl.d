@@ -1,0 +1,1 @@
+lib/placeroute/arch.ml:

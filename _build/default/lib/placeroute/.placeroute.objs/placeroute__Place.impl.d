@@ -1,0 +1,1 @@
+lib/placeroute/place.ml: Arch Array Hashtbl List Net Option Support Techmap

@@ -1,0 +1,1 @@
+lib/placeroute/place.mli: Hashtbl Net Techmap

@@ -1,0 +1,1 @@
+lib/placeroute/sta.ml: Arch Array Dataflow Format List Net Place Techmap

@@ -1,0 +1,1 @@
+lib/placeroute/sta.mli: Dataflow Format Net Place Techmap

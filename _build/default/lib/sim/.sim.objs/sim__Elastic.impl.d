@@ -1,0 +1,1 @@
+lib/sim/elastic.ml: Array Dataflow Hashtbl List Option Printf Queue Vcd

@@ -1,0 +1,1 @@
+lib/sim/elastic.mli: Dataflow

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Char Dataflow Printf String

@@ -1,0 +1,70 @@
+module G = Dataflow.Graph
+
+type t = {
+  oc : out_channel;
+  widths : int array;
+  mutable prev : (bool * bool * int) array option;
+}
+
+(* VCD identifier codes: base-94 strings over the printable characters *)
+let code i =
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod 94)) in
+    let acc = String.make 1 c ^ acc in
+    if i < 94 then acc else go ((i / 94) - 1) acc
+  in
+  go i ""
+
+let valid_code c = code (3 * c)
+let ready_code c = code ((3 * c) + 1)
+let data_code c = code ((3 * c) + 2)
+
+let sanitize s =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' then c else '_') s
+
+let create oc g =
+  output_string oc "$date repro $end\n$version repro elastic simulator $end\n";
+  output_string oc "$timescale 1 ns $end\n";
+  output_string oc (Printf.sprintf "$scope module %s $end\n" (sanitize (G.name g)));
+  let widths = Array.make (G.n_channels g) 0 in
+  G.iter_channels g (fun c ->
+      let cid = c.G.cid in
+      widths.(cid) <- c.G.width;
+      let base =
+        Printf.sprintf "c%d_%s_to_%s" cid
+          (sanitize (G.unit_node g c.G.src).G.label)
+          (sanitize (G.unit_node g c.G.dst).G.label)
+      in
+      output_string oc (Printf.sprintf "$var wire 1 %s %s_valid $end\n" (valid_code cid) base);
+      output_string oc (Printf.sprintf "$var wire 1 %s %s_ready $end\n" (ready_code cid) base);
+      if c.G.width > 0 then
+        output_string oc
+          (Printf.sprintf "$var wire %d %s %s_data $end\n" c.G.width (data_code cid) base));
+  output_string oc "$upscope $end\n$enddefinitions $end\n";
+  { oc; widths; prev = None }
+
+let bin_string width v =
+  String.init width (fun i -> if (v lsr (width - 1 - i)) land 1 = 1 then '1' else '0')
+
+let step t ~cycle values =
+  output_string t.oc (Printf.sprintf "#%d\n" cycle);
+  Array.iteri
+    (fun cid (valid, ready, data) ->
+      let changed field =
+        match t.prev with
+        | None -> true
+        | Some prev ->
+          let pv, pr, pd = prev.(cid) in
+          (match field with `V -> pv <> valid | `R -> pr <> ready | `D -> pd <> data)
+      in
+      if changed `V then
+        output_string t.oc (Printf.sprintf "%c%s\n" (if valid then '1' else '0') (valid_code cid));
+      if changed `R then
+        output_string t.oc (Printf.sprintf "%c%s\n" (if ready then '1' else '0') (ready_code cid));
+      if t.widths.(cid) > 0 && changed `D then
+        output_string t.oc
+          (Printf.sprintf "b%s %s\n" (bin_string t.widths.(cid) data) (data_code cid)))
+    values;
+  t.prev <- Some (Array.copy values)
+
+let close t = flush t.oc

@@ -1,0 +1,16 @@
+(** VCD waveform output for elastic simulations (the ModelSim-waveform
+    stand-in). One record per channel: its valid and ready handshake bits
+    and its data value, sampled once per clock cycle. Open the file in
+    GTKWave or any VCD viewer. *)
+
+type t
+
+val create : out_channel -> Dataflow.Graph.t -> t
+(** Writes the header: one scope per channel, named
+    [c<id>_<src>_to_<dst>]. *)
+
+val step : t -> cycle:int -> (bool * bool * int) array -> unit
+(** Dump one cycle; the array is indexed by channel id with
+    (valid, ready, data). Only changed signals are written. *)
+
+val close : t -> unit

@@ -1,0 +1,1 @@
+lib/support/union_find.mli:

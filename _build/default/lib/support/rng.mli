@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic component of the reproduction (placement annealing,
+    workload generation, property-test data) draws from this generator so
+    that the whole pipeline is reproducible from a fixed seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent child generator (advances the parent). *)

@@ -1,0 +1,33 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find t p in
+    t.parent.(x) <- r;
+    r
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx <> ry then
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end
+
+let same t x y = find t x = find t y
+
+let classes t =
+  let n = Array.length t.parent in
+  let out = Array.make n [] in
+  for x = n - 1 downto 0 do
+    let r = find t x in
+    out.(r) <- x :: out.(r)
+  done;
+  out

@@ -1,0 +1,21 @@
+(** Classic union-find over integer elements [0 .. n-1], with path
+    compression and union by rank. Used by the technology mapper to group
+    netlist nodes that synthesis merges into a single structural unit. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton classes. *)
+
+val find : t -> int -> int
+(** Representative of the element's class. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two classes. *)
+
+val same : t -> int -> int -> bool
+(** Whether two elements share a class. *)
+
+val classes : t -> int list array
+(** [classes t] indexed by representative; non-representative slots are
+    empty lists. *)

@@ -1,0 +1,1 @@
+lib/techmap/aig.ml: Array Hashtbl List Net Support

@@ -1,0 +1,1 @@
+lib/techmap/aig.mli: Net

@@ -1,0 +1,1 @@
+lib/techmap/balance.ml: Aig Array Hashtbl List Option Synth

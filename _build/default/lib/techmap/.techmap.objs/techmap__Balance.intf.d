@@ -1,0 +1,1 @@
+lib/techmap/balance.mli: Synth

@@ -1,0 +1,1 @@
+lib/techmap/blif.ml: Aig Array Buffer Hashtbl Int64 List Lutgraph Net Option Printf String Synth Truth

@@ -1,0 +1,1 @@
+lib/techmap/blif.mli: Lutgraph Net

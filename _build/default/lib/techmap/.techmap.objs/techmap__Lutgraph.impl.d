@@ -1,0 +1,1 @@
+lib/techmap/lutgraph.ml: Array List Net Synth

@@ -1,0 +1,1 @@
+lib/techmap/lutgraph.mli: Net Synth

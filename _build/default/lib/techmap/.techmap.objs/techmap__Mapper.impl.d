@@ -1,0 +1,1 @@
+lib/techmap/mapper.ml: Aig Array Hashtbl List Lutgraph Net Option Synth

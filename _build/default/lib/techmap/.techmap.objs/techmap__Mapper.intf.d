@@ -1,0 +1,1 @@
+lib/techmap/mapper.mli: Lutgraph Synth

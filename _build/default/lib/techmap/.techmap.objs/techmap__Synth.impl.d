@@ -1,0 +1,1 @@
+lib/techmap/synth.ml: Aig Array Hashtbl List Net Printf

@@ -1,0 +1,1 @@
+lib/techmap/synth.mli: Aig Hashtbl Net

@@ -1,0 +1,1 @@
+lib/techmap/truth.ml: Aig Array Hashtbl Int64 List Lutgraph Support Synth

@@ -1,0 +1,1 @@
+lib/techmap/truth.mli: Lutgraph

@@ -1,0 +1,97 @@
+let run (synth : Synth.t) =
+  let old_aig = synth.Synth.aig in
+  let n = Aig.n_nodes old_aig in
+  (* fanout counts: flattening only descends through single-fanout edges *)
+  let refs = Array.make n 0 in
+  for v = 1 to n - 1 do
+    if not (Aig.is_ci old_aig v) then begin
+      let f0, f1 = Aig.fanins old_aig v in
+      refs.(Aig.node_of_lit f0) <- refs.(Aig.node_of_lit f0) + 1;
+      refs.(Aig.node_of_lit f1) <- refs.(Aig.node_of_lit f1) + 1
+    end
+  done;
+  List.iter
+    (fun (_, _, lit) ->
+      let v = Aig.node_of_lit lit in
+      refs.(v) <- refs.(v) + 1)
+    (Aig.cos old_aig);
+  let aig = Aig.create () in
+  let gate_of_ci = Hashtbl.create 64 in
+  let depth = Hashtbl.create 256 in
+  let depth_of lit =
+    Option.value (Hashtbl.find_opt depth (Aig.node_of_lit lit)) ~default:0
+  in
+  let note_depth lit d = Hashtbl.replace depth (Aig.node_of_lit lit) d in
+  let memo = Array.make n (-1) in
+  (* rebuild a node, returning its uncomplemented literal in the new AIG *)
+  let rec rebuild v =
+    if memo.(v) >= 0 then memo.(v)
+    else begin
+      let lit =
+        if Aig.is_ci old_aig v then begin
+          let l = Aig.ci aig ~owner:(Aig.owner old_aig v) ~dom:(Aig.dom old_aig v) in
+          (match Hashtbl.find_opt synth.Synth.gate_of_ci v with
+          | Some gid -> Hashtbl.replace gate_of_ci (Aig.node_of_lit l) gid
+          | None -> ());
+          note_depth l 0;
+          l
+        end
+        else begin
+          let owner = Aig.owner old_aig v in
+          (* flatten the conjunction rooted here *)
+          let leaves = ref [] in
+          let rec expand lit =
+            let u = Aig.node_of_lit lit in
+            if
+              (not (Aig.is_complement lit))
+              && (not (Aig.is_ci old_aig u))
+              && u <> 0
+              && refs.(u) = 1
+            then begin
+              let f0, f1 = Aig.fanins old_aig u in
+              expand f0;
+              expand f1
+            end
+            else begin
+              let base = rebuild u in
+              leaves := (if Aig.is_complement lit then Aig.bnot base else base) :: !leaves
+            end
+          in
+          let f0, f1 = Aig.fanins old_aig v in
+          expand f0;
+          expand f1;
+          (* Huffman-style: combine the two shallowest operands first *)
+          let rec combine = function
+            | [] -> Aig.lit_true
+            | [ x ] -> x
+            | xs ->
+              let sorted = List.sort (fun a b -> compare (depth_of a) (depth_of b)) xs in
+              (match sorted with
+              | a :: b :: rest ->
+                let ab = Aig.band aig ~owner a b in
+                note_depth ab (1 + max (depth_of a) (depth_of b));
+                combine (ab :: rest)
+              | short -> combine short)
+          in
+          combine !leaves
+        end
+      in
+      (* memo holds the uncomplemented form; [rebuild] is only called on
+         node ids, so lit here is positive except for folded constants *)
+      memo.(v) <- lit;
+      lit
+    end
+  in
+  List.iter
+    (fun (_, tag, lit) ->
+      let v = Aig.node_of_lit lit in
+      let l =
+        if v = 0 then if Aig.is_complement lit then Aig.lit_true else Aig.lit_false
+        else begin
+          let base = rebuild v in
+          if Aig.is_complement lit then Aig.bnot base else base
+        end
+      in
+      Aig.add_co aig ~owner:0 ~tag l)
+    (Aig.cos old_aig);
+  { Synth.aig; lit_of_gate = [||]; gate_of_ci }

@@ -1,0 +1,90 @@
+module L = Lutgraph
+
+let signal_of_node lg net node =
+  let aig = lg.L.synth.Synth.aig in
+  if node = 0 then "gnd"
+  else if Aig.is_ci aig node then begin
+    let gid = Hashtbl.find lg.L.synth.Synth.gate_of_ci node in
+    match (Net.gate net gid).Net.kind with
+    | Net.Input nm -> nm
+    | Net.Ff _ -> Printf.sprintf "ff%d_q" gid
+    | _ -> Printf.sprintf "n%d" node
+  end
+  else Printf.sprintf "lut%d" lg.L.lut_of_node.(node)
+
+let of_lutgraph net (lg : L.t) =
+  let aig = lg.L.synth.Synth.aig in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr ".model %s\n" (Net.name net);
+  let inputs =
+    List.filter_map
+      (fun id -> match (Net.gate net id).Net.kind with Net.Input nm -> Some nm | _ -> None)
+      (Net.inputs net)
+  in
+  pr ".inputs %s\n" (String.concat " " inputs);
+  let outputs =
+    List.filter_map
+      (fun id -> match (Net.gate net id).Net.kind with Net.Output nm -> Some nm | _ -> None)
+      (Net.outputs net)
+  in
+  pr ".outputs %s\n" (String.concat " " outputs);
+  pr ".names gnd\n";
+  (* ground: constant-0 .names block (no cubes) *)
+  (* combinational-output signal per CO tag *)
+  let co_signal = Hashtbl.create 64 in
+  List.iter
+    (fun (_, tag, lit) ->
+      let node = Aig.node_of_lit lit in
+      let base = signal_of_node lg net node in
+      let s =
+        if Aig.is_complement lit then begin
+          (* materialise an inverter block *)
+          let inv = Printf.sprintf "%s_inv" base in
+          pr ".names %s %s\n0 1\n" base inv;
+          inv
+        end
+        else base
+      in
+      Hashtbl.replace co_signal tag s)
+    (Aig.cos aig);
+  (* latches *)
+  List.iter
+    (fun gid ->
+      match (Net.gate net gid).Net.kind with
+      | Net.Ff init ->
+        let d = Option.value (Hashtbl.find_opt co_signal gid) ~default:"gnd" in
+        pr ".latch %s ff%d_q re clk %d\n" d gid (if init then 1 else 0)
+      | _ -> ())
+    (Net.ffs net);
+  (* outputs are aliases of their CO signal *)
+  List.iter
+    (fun gid ->
+      match (Net.gate net gid).Net.kind with
+      | Net.Output nm ->
+        let d = Option.value (Hashtbl.find_opt co_signal gid) ~default:"gnd" in
+        pr ".names %s %s\n1 1\n" d nm
+      | _ -> ())
+    (Net.outputs net);
+  (* one .names block per LUT with its truth table cubes *)
+  Array.iter
+    (fun (lut : L.lut) ->
+      let k = Array.length lut.L.leaves in
+      let table = Truth.lut_table lg lut.L.lid in
+      let leaf_sigs =
+        Array.to_list (Array.map (fun leaf -> signal_of_node lg net leaf) lut.L.leaves)
+      in
+      pr ".names %s lut%d\n" (String.concat " " leaf_sigs) lut.L.lid;
+      for assignment = 0 to (1 lsl k) - 1 do
+        if Int64.logand (Int64.shift_right_logical table assignment) 1L = 1L then begin
+          for i = 0 to k - 1 do
+            Buffer.add_char buf (if (assignment lsr i) land 1 = 1 then '1' else '0')
+          done;
+          Buffer.add_string buf " 1\n"
+        end
+      done)
+    lg.L.luts;
+  pr ".end\n";
+  Buffer.contents buf
+
+let to_channel oc net lg = output_string oc (of_lutgraph net lg)

@@ -1,0 +1,7 @@
+(** BLIF export of the mapped circuit — the interchange format the
+    paper's ODIN-II → ABC → VPR hand-offs use.  Latches for flip-flops,
+    one [.names] block with the computed truth table per LUT. *)
+
+val of_lutgraph : Net.t -> Lutgraph.t -> string
+
+val to_channel : out_channel -> Net.t -> Lutgraph.t -> unit

@@ -1,0 +1,55 @@
+type t = {
+  aig : Aig.t;
+  lit_of_gate : int array;
+  gate_of_ci : (int, int) Hashtbl.t;
+}
+
+let run net =
+  let n = Net.n_gates net in
+  let aig = Aig.create () in
+  let lit_of_gate = Array.make n (-1) in
+  let gate_of_ci = Hashtbl.create 64 in
+  let on_stack = Array.make n false in
+  (* Iterative post-order DFS: compute the literal of every gate output. *)
+  let rec visit id =
+    if lit_of_gate.(id) <> -1 then lit_of_gate.(id)
+    else begin
+      if on_stack.(id) then
+        failwith
+          (Printf.sprintf "Synth.run: combinational cycle through gate %d (owner unit %d)" id
+             (Net.gate net id).Net.owner);
+      on_stack.(id) <- true;
+      let g = Net.gate net id in
+      let lit =
+        match g.Net.kind with
+        | Net.Input _ | Net.Ff _ ->
+          let l = Aig.ci aig ~owner:g.Net.owner ~dom:g.Net.dom in
+          Hashtbl.replace gate_of_ci (Aig.node_of_lit l) id;
+          l
+        | Net.Const b -> if b then Aig.lit_true else Aig.lit_false
+        | Net.Buf | Net.Output _ -> visit g.Net.fanins.(0)
+        | Net.Not -> Aig.bnot (visit g.Net.fanins.(0))
+        | Net.And2 -> Aig.band aig ~owner:g.Net.owner (visit g.Net.fanins.(0)) (visit g.Net.fanins.(1))
+        | Net.Or2 -> Aig.bor aig ~owner:g.Net.owner (visit g.Net.fanins.(0)) (visit g.Net.fanins.(1))
+        | Net.Xor2 -> Aig.bxor aig ~owner:g.Net.owner (visit g.Net.fanins.(0)) (visit g.Net.fanins.(1))
+      in
+      on_stack.(id) <- false;
+      lit_of_gate.(id) <- lit;
+      lit
+    end
+  in
+  List.iter
+    (fun id ->
+      let l = visit (Net.gate net id).Net.fanins.(0) in
+      lit_of_gate.(id) <- l;
+      Aig.add_co aig ~owner:(Net.gate net id).Net.owner ~tag:id l)
+    (Net.outputs net);
+  List.iter
+    (fun id ->
+      ignore (visit id);
+      (* the FF's D fanin is a combinational output *)
+      let d = (Net.gate net id).Net.fanins.(0) in
+      let l = visit d in
+      Aig.add_co aig ~owner:(Net.gate net id).Net.owner ~tag:id l)
+    (Net.ffs net);
+  { aig; lit_of_gate; gate_of_ci }

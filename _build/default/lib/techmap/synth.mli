@@ -1,0 +1,15 @@
+(** Netlist → AIG conversion (the logic-synthesis front half of ABC).
+
+    Combinational inputs are the netlist's primary inputs and flip-flop
+    outputs; combinational outputs are primary outputs and flip-flop D
+    inputs. Structural hashing and constant folding happen during
+    construction, which is where cross-unit logic merging occurs. *)
+
+type t = {
+  aig : Aig.t;
+  lit_of_gate : int array;        (** netlist gate id → AIG literal *)
+  gate_of_ci : (int, int) Hashtbl.t;  (** AIG CI node → netlist gate id *)
+}
+
+val run : Net.t -> t
+(** Raises [Failure] if the combinational netlist is cyclic. *)

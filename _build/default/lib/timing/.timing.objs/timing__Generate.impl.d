@@ -1,0 +1,1 @@
+lib/timing/generate.ml: Array Dataflow Hashtbl List Lut_map Model Option Queue

@@ -1,0 +1,1 @@
+lib/timing/generate.mli: Dataflow Lut_map Model

@@ -1,0 +1,1 @@
+lib/timing/lut_map.ml: Array Dataflow Elaborate Lazy List Queue Techmap

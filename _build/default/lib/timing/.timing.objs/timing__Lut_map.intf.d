@@ -1,0 +1,1 @@
+lib/timing/lut_map.mli: Dataflow Net Techmap

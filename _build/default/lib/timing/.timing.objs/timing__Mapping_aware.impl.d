@@ -1,0 +1,1 @@
+lib/timing/mapping_aware.ml: Generate Lut_map

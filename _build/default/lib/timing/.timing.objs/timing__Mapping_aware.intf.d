@@ -1,0 +1,1 @@
+lib/timing/mapping_aware.mli: Dataflow Model Net Techmap

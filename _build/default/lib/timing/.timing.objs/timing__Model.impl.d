@@ -1,0 +1,1 @@
+lib/timing/model.ml: Dataflow Format Hashtbl List

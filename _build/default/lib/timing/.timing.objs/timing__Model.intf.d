@@ -1,0 +1,1 @@
+lib/timing/model.mli: Dataflow Format

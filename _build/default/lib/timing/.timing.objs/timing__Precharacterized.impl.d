@@ -1,0 +1,1 @@
+lib/timing/precharacterized.ml: Array Dataflow Elaborate Hashtbl List Model Printf String Techmap

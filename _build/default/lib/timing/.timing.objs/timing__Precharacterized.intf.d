@@ -1,0 +1,1 @@
+lib/timing/precharacterized.mli: Dataflow Model

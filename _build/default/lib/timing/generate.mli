@@ -1,0 +1,16 @@
+(** Timing-model generation (§IV-B) and penalty computation (§IV-C).
+
+    Collapses the node-level timing graph of {!Lut_map} into
+    channel-granular delay pairs: for every (launch-or-crossing,
+    crossing-or-capture) pair, the maximum combinational delay between
+    them, where propagation stops at channel crossings (those are where a
+    buffer would reset the path).
+
+    The penalty of a channel is [|X_fake(c)| / |X(c)|]: the fraction of
+    the source unit's delay nodes that are fake nodes connected to the
+    channel — i.e., logic of that unit which synthesis absorbed across
+    the channel and which a buffer would un-share. *)
+
+val run : Lut_map.t -> Dataflow.Graph.t -> Model.t
+(** Raises [Failure] if the timing graph is cyclic (which would mean an
+    unbuffered combinational cycle slipped through). *)

@@ -1,0 +1,3 @@
+let build ?lut_delay ?lut_extra g ~net lg =
+  let tg = Lut_map.build ?lut_delay ?lut_extra g ~net lg in
+  Generate.run tg g

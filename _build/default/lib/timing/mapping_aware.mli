@@ -1,0 +1,11 @@
+(** Facade for the paper's mapping-aware timing model: LUT-to-DFG
+    mapping (§IV-A, §IV-D) followed by timing-model generation and
+    penalty computation (§IV-B, §IV-C). *)
+
+val build :
+  ?lut_delay:float ->
+  ?lut_extra:(int -> float) ->
+  Dataflow.Graph.t ->
+  net:Net.t ->
+  Techmap.Lutgraph.t ->
+  Model.t

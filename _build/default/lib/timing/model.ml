@@ -1,0 +1,38 @@
+type terminal =
+  | T_reg
+  | T_chan_fwd of Dataflow.Graph.channel_id
+  | T_chan_bwd of Dataflow.Graph.channel_id
+
+type pair = { p_src : terminal; p_dst : terminal; p_delay : float }
+
+type t = {
+  pairs : pair list;
+  penalty : float array;
+  fixed_reg_to_reg : float;
+  delay_nodes : int;
+  fake_nodes : int;
+}
+
+let channels_in_play t =
+  let tbl = Hashtbl.create 32 in
+  let note = function
+    | T_reg -> ()
+    | T_chan_fwd c | T_chan_bwd c -> Hashtbl.replace tbl c ()
+  in
+  List.iter
+    (fun p ->
+      note p.p_src;
+      note p.p_dst)
+    t.pairs;
+  Hashtbl.fold (fun c () acc -> c :: acc) tbl [] |> List.sort compare
+
+let terminal_equal a b =
+  match (a, b) with
+  | T_reg, T_reg -> true
+  | T_chan_fwd x, T_chan_fwd y | T_chan_bwd x, T_chan_bwd y -> x = y
+  | _ -> false
+
+let pp_terminal fmt = function
+  | T_reg -> Format.pp_print_string fmt "reg"
+  | T_chan_fwd c -> Format.fprintf fmt "fwd(c%d)" c
+  | T_chan_bwd c -> Format.fprintf fmt "bwd(c%d)" c

@@ -1,0 +1,39 @@
+(** Timing models of dataflow circuits (§IV of the paper).
+
+    A model describes every combinational register-to-register path of
+    the circuit at {e channel granularity}: a path starts at a sequential
+    element ([T_reg]), traverses channel crossing points — forward
+    ([T_chan_fwd], the data/valid direction) or backward ([T_chan_bwd],
+    the ready direction) — and ends at a sequential element. A buffer on
+    channel [c] resets the arrival time at the crossing points of [c].
+
+    Both the mapping-aware model ({!Lut_map} → {!Generate}) and the
+    pre-characterised baseline ({!Precharacterized}) produce this type,
+    so the buffer-placement MILP treats them identically — exactly the
+    paper's "same MILP formulation" comparison setup. *)
+
+type terminal =
+  | T_reg                          (** any sequential launch/capture point *)
+  | T_chan_fwd of Dataflow.Graph.channel_id
+  | T_chan_bwd of Dataflow.Graph.channel_id
+
+type pair = {
+  p_src : terminal;
+  p_dst : terminal;
+  p_delay : float;  (** max combinational delay between the terminals, ns *)
+}
+
+type t = {
+  pairs : pair list;
+  penalty : float array;           (** per channel id; Eq. 2 of the paper *)
+  fixed_reg_to_reg : float;        (** worst purely-internal path (no channel crossing):
+                                       unfixable by buffering *)
+  delay_nodes : int;               (** real delay nodes (diagnostics) *)
+  fake_nodes : int;                (** fake delay nodes (diagnostics) *)
+}
+
+val channels_in_play : t -> Dataflow.Graph.channel_id list
+(** Channels that appear in at least one pair (deduplicated, sorted). *)
+
+val terminal_equal : terminal -> terminal -> bool
+val pp_terminal : Format.formatter -> terminal -> unit

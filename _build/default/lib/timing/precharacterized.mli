@@ -1,0 +1,17 @@
+(** The mapping-agnostic baseline timing model (the "Prev." flow of the
+    paper's Table I, i.e., Dynamatic's FPL'22 model).
+
+    Each dataflow unit is characterised {e in isolation}: it is placed
+    between opaque buffers (so its logic sits between registers), run
+    through the same synthesis + LUT mapping as the full circuit, and its
+    level count is taken as its delay (levels × 0.7 ns). The full-circuit
+    timing model then assumes that every path through a unit costs the
+    unit's whole characterised delay — ignoring all cross-unit logic
+    simplification, which is precisely the conservatism the paper
+    attacks. All penalties are zero (Eq. 1 objective). *)
+
+val unit_delay : Dataflow.Graph.t -> Dataflow.Graph.unit_id -> float
+(** Characterised delay of one unit (cached by kind and width
+    signature). *)
+
+val build : Dataflow.Graph.t -> Model.t

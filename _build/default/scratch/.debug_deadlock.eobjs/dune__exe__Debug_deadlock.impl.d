@@ -1,0 +1,1 @@
+scratch/debug_deadlock.ml: Array Dataflow Hls List Printf Sim Sys Unix

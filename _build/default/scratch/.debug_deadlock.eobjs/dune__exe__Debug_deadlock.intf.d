@@ -1,0 +1,1 @@
+scratch/debug_deadlock.mli:

@@ -1,0 +1,1 @@
+scratch/debug_gate.ml: Dataflow Elaborate Fixtures_copy List Net Printf String

@@ -1,0 +1,1 @@
+scratch/debug_rand.ml: Array Core Dataflow Format Hls List Printf Sim Support Sys

@@ -1,0 +1,1 @@
+scratch/find_cycle.ml: Array Core Dataflow Elaborate Hls List Printf Techmap Timing

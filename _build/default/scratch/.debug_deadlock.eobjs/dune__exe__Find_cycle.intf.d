@@ -1,0 +1,1 @@
+scratch/find_cycle.mli:

@@ -1,0 +1,1 @@
+scratch/fixtures_copy.ml: Dataflow

@@ -1,0 +1,1 @@
+scratch/run_table.ml: Core Format Hls List Printf Unix

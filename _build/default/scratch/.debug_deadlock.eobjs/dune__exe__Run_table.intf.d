@@ -1,0 +1,1 @@
+scratch/run_table.mli:

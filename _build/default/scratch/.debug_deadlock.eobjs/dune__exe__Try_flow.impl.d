@@ -1,0 +1,1 @@
+scratch/try_flow.ml: Array Core Format Hls Printf Sys Unix

@@ -1,0 +1,1 @@
+scratch/try_src.ml: Array Core Dataflow Hls In_channel Printf Sim

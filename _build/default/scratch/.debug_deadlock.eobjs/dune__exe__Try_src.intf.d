@@ -1,0 +1,1 @@
+scratch/try_src.mli:

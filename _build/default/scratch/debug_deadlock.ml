@@ -1,0 +1,16 @@
+module G = Dataflow.Graph
+
+let () =
+  let name = Sys.argv.(1) in
+  let slots = int_of_string Sys.argv.(2) in
+  let k = Hls.Kernels.by_name name in
+  let g = Hls.Kernels.graph k in
+  List.iter (fun c -> G.set_buffer g c (Some { G.transparent = false; slots })) (G.marked_back_edges g);
+  let mems = k.Hls.Kernels.mems () in
+  let t0 = Unix.gettimeofday () in
+  let r = Sim.Elastic.run ~config:{ Sim.Elastic.max_cycles = 200_000; deadlock_window = 400 } ~memories:mems g in
+  let expected = Hls.Kernels.reference k in
+  Printf.printf "%s slots=%d: finished=%b deadlocked=%b cycles=%d value=%s expected=%d (%.2fs)\n%!"
+    name slots r.Sim.Elastic.finished r.Sim.Elastic.deadlocked r.Sim.Elastic.cycles
+    (match r.Sim.Elastic.exit_value with Some v -> string_of_int v | None -> "-") expected
+    (Unix.gettimeofday () -. t0)

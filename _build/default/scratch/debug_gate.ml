@@ -1,0 +1,20 @@
+module G = Dataflow.Graph
+
+let () =
+  let g, _ = Fixtures_copy.loop () in
+  let net = Elaborate.run g in
+  Printf.printf "gates=%d ffs=%d\n" (Net.n_gates net) (Net.count_ffs net);
+  let sim = Net.sim_create net in
+  List.iter
+    (fun id ->
+      match (Net.gate net id).Net.kind with
+      | Net.Input nm -> Net.sim_set_input sim nm true
+      | _ -> ())
+    (Net.inputs net);
+  let outs = List.filter_map (fun id -> match (Net.gate net id).Net.kind with Net.Output nm -> Some (nm, id) | _ -> None) (Net.outputs net) in
+  for cycle = 0 to 24 do
+    Net.sim_eval sim;
+    let vals = List.map (fun (nm, id) -> Printf.sprintf "%s=%b" nm (Net.sim_get sim id)) outs in
+    Printf.printf "cycle %2d: %s\n" cycle (String.concat " " vals);
+    Net.sim_step sim
+  done

@@ -1,0 +1,73 @@
+module G = Dataflow.Graph
+
+(* replicate the generator from test_endtoend *)
+let gen_program seed =
+  let rng = Support.Rng.create seed in
+  let vars = [ "x"; "y"; "z" ] in
+  let var () = List.nth vars (Support.Rng.int rng 3) in
+  let rec expr depth =
+    if depth = 0 then
+      match Support.Rng.int rng 3 with
+      | 0 -> Hls.Ast.Int (Support.Rng.int rng 32)
+      | 1 -> Hls.Ast.Var (var ())
+      | _ -> Hls.Ast.Load ("m", Hls.Ast.Binop (Hls.Ast.And, Hls.Ast.Var (var ()), Hls.Ast.Int 15))
+    else
+      let op =
+        match Support.Rng.int rng 7 with
+        | 0 -> Hls.Ast.Add | 1 -> Hls.Ast.Sub | 2 -> Hls.Ast.Mul
+        | 3 -> Hls.Ast.And | 4 -> Hls.Ast.Or | 5 -> Hls.Ast.Xor
+        | _ -> Hls.Ast.Lshr
+      in
+      Hls.Ast.Binop (op, expr (depth - 1), expr (depth - 1))
+  in
+  let cond () =
+    let op =
+      match Support.Rng.int rng 4 with
+      | 0 -> Hls.Ast.Lt | 1 -> Hls.Ast.Le | 2 -> Hls.Ast.Eq | _ -> Hls.Ast.Gt
+    in
+    Hls.Ast.Binop (op, expr 1, expr 1)
+  in
+  let rec stmt depth =
+    match if depth = 0 then Support.Rng.int rng 2 else Support.Rng.int rng 4 with
+    | 0 -> Hls.Ast.Assign (var (), expr 2)
+    | 1 -> Hls.Ast.Store ("m", Hls.Ast.Binop (Hls.Ast.And, expr 1, Hls.Ast.Int 15), expr 1)
+    | 2 -> Hls.Ast.If (cond (), [ stmt (depth - 1) ], [ stmt (depth - 1) ])
+    | _ ->
+      let i = Printf.sprintf "i%d" (Support.Rng.int rng 1000) in
+      let bound = 2 + Support.Rng.int rng 5 in
+      Hls.Ast.For
+        ( Hls.Ast.Decl (i, Hls.Ast.Int 0),
+          Hls.Ast.Binop (Hls.Ast.Lt, Hls.Ast.Var i, Hls.Ast.Int bound),
+          Hls.Ast.Assign (i, Hls.Ast.Binop (Hls.Ast.Add, Hls.Ast.Var i, Hls.Ast.Int 1)),
+          [ stmt (depth - 1) ] )
+  in
+  let n_stmts = 2 + Support.Rng.int rng 3 in
+  let body =
+    [
+      Hls.Ast.Decl ("x", Hls.Ast.Int (Support.Rng.int rng 16));
+      Hls.Ast.Decl ("y", Hls.Ast.Int (Support.Rng.int rng 16));
+      Hls.Ast.Decl ("z", Hls.Ast.Int (Support.Rng.int rng 16));
+    ]
+    @ List.init n_stmts (fun _ -> stmt 2)
+    @ [ Hls.Ast.Return
+          (Hls.Ast.Binop (Hls.Ast.Add, Hls.Ast.Var "x",
+             Hls.Ast.Binop (Hls.Ast.Add, Hls.Ast.Var "y", Hls.Ast.Var "z"))) ]
+  in
+  { Hls.Ast.fname = "rand"; params = [ Hls.Ast.Array ("m", 16) ]; body }
+
+let mem_data seed = Array.init 16 (fun i -> (seed + (i * 37)) land 255)
+
+let () =
+  let seed = int_of_string Sys.argv.(1) in
+  let f = gen_program seed in
+  List.iter (Format.printf "%a" Hls.Ast.pp_stmt) f.Hls.Ast.body;
+  let expected = Hls.Interp.run f ~args:[] ~memories:[ ("m", mem_data seed) ] in
+  let g = Hls.Compile.compile f in
+  let _ = Core.Flow.seed_back_edges g in
+  let r =
+    Sim.Elastic.run ~config:{ Sim.Elastic.max_cycles = 200_000; deadlock_window = 1_000 }
+      ~memories:[ ("m", mem_data seed) ] ~dump_deadlock:stdout g
+  in
+  Printf.printf "expected=%d got=%s finished=%b deadlocked=%b cycles=%d\n" expected
+    (match r.Sim.Elastic.exit_value with Some v -> string_of_int v | None -> "-")
+    r.Sim.Elastic.finished r.Sim.Elastic.deadlocked r.Sim.Elastic.cycles

@@ -1,0 +1,57 @@
+module G = Dataflow.Graph
+module LM = Timing.Lut_map
+
+let () =
+  let k = Hls.Kernels.by_name "gsum" in
+  let g = Hls.Kernels.graph k in
+  let _ = Core.Flow.seed_back_edges g in
+  let net = Elaborate.run g in
+  let synth = Techmap.Synth.run net in
+  let lg = Techmap.Mapper.run synth in
+  let tg = LM.build g ~net lg in
+  let n = Array.length tg.LM.kinds in
+  Printf.printf "nodes=%d\n" n;
+  (* find a cycle with DFS *)
+  let color = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let cyc = ref None in
+  let rec dfs u =
+    color.(u) <- 1;
+    List.iter
+      (fun v ->
+        if !cyc = None then begin
+          if color.(v) = 1 then cyc := Some (u, v)
+          else if color.(v) = 0 then begin
+            parent.(v) <- u;
+            dfs v
+          end
+        end)
+      tg.LM.succs.(u);
+    if color.(u) = 1 then color.(u) <- 2
+  in
+  for u = 0 to n - 1 do
+    if color.(u) = 0 && !cyc = None then dfs u
+  done;
+  match !cyc with
+  | None -> Printf.printf "acyclic!\n"
+  | Some (u, v) ->
+    let pp i =
+      match tg.LM.kinds.(i) with
+      | LM.Delay { unit_id; delay; fake } ->
+        Printf.sprintf "n%d Delay(unit=%s, d=%.1f, fake=%b)" i (G.unit_node g unit_id).G.label delay fake
+      | LM.Launch -> Printf.sprintf "n%d Launch" i
+      | LM.Capture -> Printf.sprintf "n%d Capture" i
+      | LM.Cross_fwd c ->
+        let ch = G.channel g c in
+        Printf.sprintf "n%d Fwd(c%d %s->%s)" i c (G.unit_node g ch.G.src).G.label (G.unit_node g ch.G.dst).G.label
+      | LM.Cross_bwd c ->
+        let ch = G.channel g c in
+        Printf.sprintf "n%d Bwd(c%d %s->%s)" i c (G.unit_node g ch.G.src).G.label (G.unit_node g ch.G.dst).G.label
+    in
+    (* walk back from u to v via parents *)
+    Printf.printf "cycle closing edge: %s -> %s\n" (pp u) (pp v);
+    let rec walk i =
+      Printf.printf "  %s\n" (pp i);
+      if i <> v && parent.(i) >= 0 then walk parent.(i)
+    in
+    walk u

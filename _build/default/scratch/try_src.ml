@@ -1,0 +1,16 @@
+module G = Dataflow.Graph
+
+let () =
+  let src = In_channel.input_all In_channel.stdin in
+  let f = Hls.Parser.parse src in
+  let mem = Array.init 16 (fun i -> (i * 37) land 255) in
+  let expected = Hls.Interp.run f ~args:[] ~memories:[ ("m", Array.copy mem) ] in
+  let g = Hls.Compile.compile f in
+  let _ = Core.Flow.seed_back_edges g in
+  let r =
+    Sim.Elastic.run ~config:{ Sim.Elastic.max_cycles = 100_000; deadlock_window = 500 }
+      ~memories:[ ("m", Array.copy mem) ] ~dump_deadlock:stdout g
+  in
+  Printf.printf "expected=%d got=%s finished=%b deadlocked=%b cycles=%d\n" expected
+    (match r.Sim.Elastic.exit_value with Some v -> string_of_int v | None -> "-")
+    r.Sim.Elastic.finished r.Sim.Elastic.deadlocked r.Sim.Elastic.cycles

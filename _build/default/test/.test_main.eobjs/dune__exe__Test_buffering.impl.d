@@ -1,0 +1,1 @@
+test/test_buffering.ml: Alcotest Array Buffering Dataflow Fixtures List Option Printf Timing

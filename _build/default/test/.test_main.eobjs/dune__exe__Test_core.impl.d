@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Buffer Buffering Core Dataflow Fixtures Format List Sim String

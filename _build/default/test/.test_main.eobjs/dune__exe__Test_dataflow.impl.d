@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Dataflow Fixtures Hashtbl List QCheck QCheck_alcotest Result String Support

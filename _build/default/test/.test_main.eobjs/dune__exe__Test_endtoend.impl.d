@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Array Core Dataflow Elaborate Format Hls List Printf QCheck QCheck_alcotest Sim Support Techmap Timing

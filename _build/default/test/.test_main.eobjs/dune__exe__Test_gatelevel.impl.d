@@ -1,0 +1,1 @@
+test/test_gatelevel.ml: Alcotest Array Core Dataflow Elaborate Fixtures Hls List Net Printf Sim String

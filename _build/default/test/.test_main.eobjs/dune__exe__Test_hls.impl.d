@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Dataflow Hls List Option Printf Sim

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Milp Printf QCheck QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Dataflow Datapath Elaborate Fixtures List Net Option Printf QCheck QCheck_alcotest Result String Techmap Verilog

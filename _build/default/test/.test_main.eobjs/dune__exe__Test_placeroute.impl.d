@@ -1,0 +1,1 @@
+test/test_placeroute.ml: Alcotest Elaborate Fixtures Net Placeroute Techmap

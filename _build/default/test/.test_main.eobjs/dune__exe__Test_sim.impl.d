@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dataflow Fixtures Option Sim

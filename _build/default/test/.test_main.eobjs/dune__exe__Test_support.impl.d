@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Gen List QCheck QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_techmap.ml: Alcotest Array Dataflow Elaborate Fixtures Hashtbl List Net Printf QCheck QCheck_alcotest String Support Techmap

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Core Dataflow Elaborate Fixtures Hls List Net Techmap Timing

@@ -1,0 +1,122 @@
+module G = Dataflow.Graph
+
+let check = Alcotest.check
+
+(* The loop fixture is tiny, so the complete flows run in well under a
+   second and still exercise synthesis, timing models, the MILP, the
+   level check and the subset iteration. *)
+
+let test_seed_back_edges () =
+  let g, back = Fixtures.loop ~buffered:false () in
+  let seeded = Core.Flow.seed_back_edges g in
+  check Alcotest.bool "back edge seeded" true (List.mem back seeded);
+  check Alcotest.bool "buffer placed" true (G.buffer g back <> None)
+
+let test_iterative_on_loop () =
+  let g, _ = Fixtures.loop ~buffered:false () in
+  let outcome = Core.Flow.iterative g in
+  check Alcotest.bool "has iterations" true (outcome.Core.Flow.iterations <> []);
+  check Alcotest.bool "final levels positive" true (outcome.Core.Flow.final_levels > 0);
+  check Alcotest.bool "buffers placed" true (outcome.Core.Flow.total_buffers >= 1);
+  (* the optimised circuit must still be a live elastic circuit *)
+  let r = Sim.Elastic.run outcome.Core.Flow.graph in
+  check Alcotest.bool "still functional" true r.Sim.Elastic.finished;
+  check (Alcotest.option Alcotest.int) "same result" (Some 10) r.Sim.Elastic.exit_value
+
+let test_baseline_on_loop () =
+  let g, _ = Fixtures.loop ~buffered:false () in
+  let outcome = Core.Flow.baseline g in
+  check Alcotest.int "single shot" 1 (List.length outcome.Core.Flow.iterations);
+  let r = Sim.Elastic.run outcome.Core.Flow.graph in
+  check Alcotest.bool "functional" true r.Sim.Elastic.finished;
+  check (Alcotest.option Alcotest.int) "same result" (Some 10) r.Sim.Elastic.exit_value
+
+let test_input_not_mutated () =
+  let g, back = Fixtures.loop ~buffered:false () in
+  let _ = Core.Flow.iterative g in
+  check Alcotest.bool "input untouched" true (G.buffer g back = None)
+
+let test_tight_target_iterates () =
+  (* an unreachably tight level target must exhaust the iteration budget
+     without crashing *)
+  let g, _ = Fixtures.loop ~buffered:false () in
+  let config =
+    {
+      Core.Flow.default_config with
+      Core.Flow.target_levels = 1;
+      max_iterations = 2;
+      milp = { Core.Flow.default_config.Core.Flow.milp with Buffering.Formulation.cp_target = 0.7 };
+    }
+  in
+  let outcome = Core.Flow.iterative ~config g in
+  check Alcotest.bool "did not meet target" false outcome.Core.Flow.met_target;
+  check Alcotest.int "used the budget" 2 (List.length outcome.Core.Flow.iterations)
+
+let test_report_pct () =
+  check Alcotest.string "negative" "-50%" (Core.Report.pct 50. 100.);
+  check Alcotest.string "positive" "+25%" (Core.Report.pct 125. 100.);
+  check Alcotest.string "zero" "+0%" (Core.Report.pct 100. 100.)
+
+let test_report_renders () =
+  let m =
+    {
+      Core.Experiment.cp = 4.5;
+      cycles = 100;
+      exec_ns = 450.;
+      luts = 10;
+      ffs = 5;
+      levels = 6;
+      buffers = 3;
+      iterations = 1;
+      met_target = true;
+      value_ok = true;
+    }
+  in
+  let row = { Core.Experiment.bench = "demo"; prev = m; iter = m } in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Core.Report.table1 fmt [ row ];
+  Core.Report.figure5 fmt [ row ];
+  Core.Report.iterations fmt [ row ];
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "mentions benchmark" true (contains s "demo")
+
+let test_report_csv () =
+  let m =
+    {
+      Core.Experiment.cp = 4.5;
+      cycles = 100;
+      exec_ns = 450.;
+      luts = 10;
+      ffs = 5;
+      levels = 6;
+      buffers = 3;
+      iterations = 1;
+      met_target = true;
+      value_ok = true;
+    }
+  in
+  let row = { Core.Experiment.bench = "demo"; prev = m; iter = m } in
+  let s = Format.asprintf "%a" Core.Report.csv [ row ] in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  check Alcotest.int "header + 2 rows" 3 (List.length lines);
+  check Alcotest.bool "header columns" true
+    (List.hd lines = "bench,flow,cp_ns,cycles,exec_ns,luts,ffs,levels,buffers,iterations,met_target,value_ok")
+
+let suite =
+  [
+    ("seed back edges", `Quick, test_seed_back_edges);
+    ("iterative flow on loop", `Quick, test_iterative_on_loop);
+    ("baseline flow on loop", `Quick, test_baseline_on_loop);
+    ("input graph not mutated", `Quick, test_input_not_mutated);
+    ("tight target exhausts iterations", `Quick, test_tight_target_iterates);
+    ("report pct", `Quick, test_report_pct);
+    ("report renders", `Quick, test_report_renders);
+    ("report csv", `Quick, test_report_csv);
+  ]

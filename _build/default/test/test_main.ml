@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("support", Test_support.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("netlist", Test_netlist.suite);
+      ("techmap", Test_techmap.suite);
+      ("milp", Test_milp.suite);
+      ("sim", Test_sim.suite);
+      ("hls", Test_hls.suite);
+      ("timing", Test_timing.suite);
+      ("buffering", Test_buffering.suite);
+      ("placeroute", Test_placeroute.suite);
+      ("core", Test_core.suite);
+      ("endtoend", Test_endtoend.suite);
+      ("regressions", Test_regressions.suite);
+      ("extensions", Test_extensions.suite);
+      ("gatelevel", Test_gatelevel.suite);
+    ]

@@ -1,0 +1,289 @@
+module G = Dataflow.Graph
+module K = Dataflow.Unit_kind
+module Ops = Dataflow.Ops
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Net primitives *)
+
+let test_net_basic () =
+  let net = Net.create "t" in
+  let a = Net.input net ~owner:0 ~dom:Net.Data "a" in
+  let b = Net.input net ~owner:0 ~dom:Net.Data "b" in
+  let y = Net.and2 net ~owner:0 a b in
+  ignore (Net.output net ~owner:0 "y" y);
+  check Alcotest.bool "valid" true (Result.is_ok (Net.validate net));
+  let sim = Net.sim_create net in
+  Net.sim_set_input sim "a" true;
+  Net.sim_set_input sim "b" true;
+  Net.sim_eval sim;
+  check Alcotest.bool "and true" true (Net.sim_get_output sim "y");
+  Net.sim_set_input sim "b" false;
+  Net.sim_eval sim;
+  check Alcotest.bool "and false" false (Net.sim_get_output sim "y")
+
+let test_net_domain_join () =
+  let net = Net.create "t" in
+  let v = Net.input net ~owner:0 ~dom:Net.Valid "v" in
+  let d = Net.input net ~owner:0 ~dom:Net.Data "d" in
+  let m = Net.and2 net ~owner:0 v d in
+  check Alcotest.bool "mixed" true ((Net.gate net m).Net.dom = Net.Mixed)
+
+let test_net_ff () =
+  let net = Net.create "t" in
+  let d = Net.input net ~owner:0 ~dom:Net.Data "d" in
+  let q = Net.ff net ~owner:0 ~dom:Net.Data () in
+  Net.connect net q d;
+  ignore (Net.output net ~owner:0 "q" q);
+  let sim = Net.sim_create net in
+  Net.sim_set_input sim "d" true;
+  Net.sim_eval sim;
+  check Alcotest.bool "before edge" false (Net.sim_get_output sim "q");
+  Net.sim_step sim;
+  Net.sim_eval sim;
+  check Alcotest.bool "after edge" true (Net.sim_get_output sim "q")
+
+let test_net_comb_cycle_detected () =
+  let net = Net.create "t" in
+  let w = Net.wire net ~owner:0 ~dom:Net.Data in
+  let n = Net.not_ net ~owner:0 w in
+  Net.connect net w n;
+  ignore (Net.output net ~owner:0 "y" n);
+  let sim = Net.sim_create net in
+  Alcotest.check_raises "oscillates" (Failure "Net.sim_eval: combinational cycle") (fun () ->
+      Net.sim_eval sim)
+
+let test_net_unconnected_wire () =
+  let net = Net.create "t" in
+  let _ = Net.wire net ~owner:0 ~dom:Net.Data in
+  check Alcotest.bool "invalid" true (Result.is_error (Net.validate net))
+
+(* ------------------------------------------------------------------ *)
+(* Datapath vs Ops.eval, differential *)
+
+let width = 8
+let mask = (1 lsl width) - 1
+
+let eval_dp op a b =
+  let net = Net.create "dp" in
+  let bits name v =
+    Array.init width (fun i ->
+        let g = Net.input net ~owner:0 ~dom:Net.Data (Printf.sprintf "%s%d" name i) in
+        ignore v;
+        g)
+  in
+  let av = bits "a" a and bv = bits "b" b in
+  let out = Datapath.of_op net ~owner:0 op [ av; bv ] in
+  Array.iteri (fun i g -> ignore (Net.output net ~owner:0 (Printf.sprintf "y%d" i) g)) out;
+  let sim = Net.sim_create net in
+  for i = 0 to width - 1 do
+    Net.sim_set_input sim (Printf.sprintf "a%d" i) ((a lsr i) land 1 = 1);
+    Net.sim_set_input sim (Printf.sprintf "b%d" i) ((b lsr i) land 1 = 1)
+  done;
+  Net.sim_eval sim;
+  let r = ref 0 in
+  for i = Array.length out - 1 downto 0 do
+    r := (!r lsl 1) lor (if Net.sim_get_output sim (Printf.sprintf "y%d" i) then 1 else 0)
+  done;
+  !r
+
+let ref_op op a b =
+  match op with
+  | Ops.Icmp _ -> Ops.eval op [ a; b ]
+  | Ops.Shl | Ops.Lshr ->
+    (* the gate-level barrel shifter interprets the full operand as the
+       amount, zeroing on overflow *)
+    if b >= width then 0 else Ops.eval op [ a; b ] land mask
+  | _ -> Ops.eval op [ a; b ] land mask
+
+let diff_prop op name =
+  QCheck.Test.make ~name ~count:100
+    QCheck.(pair (int_range 0 mask) (int_range 0 mask))
+    (fun (a, b) -> eval_dp op a b = ref_op op a b)
+
+let prop_add = diff_prop Ops.Add "gate-level add = reference"
+let prop_sub = diff_prop Ops.Sub "gate-level sub = reference"
+let prop_mul = diff_prop Ops.Mul "gate-level mul = reference"
+let prop_and = diff_prop Ops.And_ "gate-level and = reference"
+let prop_xor = diff_prop Ops.Xor_ "gate-level xor = reference"
+let prop_shl = diff_prop Ops.Shl "gate-level shl = reference"
+let prop_lshr = diff_prop Ops.Lshr "gate-level lshr = reference"
+let prop_lt = diff_prop (Ops.Icmp Ops.Lt) "gate-level ult = reference"
+let prop_le = diff_prop (Ops.Icmp Ops.Le) "gate-level ule = reference"
+let prop_eq = diff_prop (Ops.Icmp Ops.Eq) "gate-level eq = reference"
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration *)
+
+let test_elaborate_fig2 () =
+  let g, _, _, _, _ = Fixtures.fig2 () in
+  let net = Elaborate.run g in
+  check Alcotest.bool "netlist valid" true (Result.is_ok (Net.validate net));
+  check Alcotest.bool "has gates" true (Net.n_gates net > 50)
+
+let test_elaborate_loop_buffered () =
+  let g, _ = Fixtures.loop () in
+  let net = Elaborate.run g in
+  check Alcotest.bool "valid" true (Result.is_ok (Net.validate net));
+  (* the opaque buffer introduces flip-flops (2 valid + 2x8 data) *)
+  check Alcotest.bool "has ffs" true (Net.count_ffs net >= 18)
+
+let test_elaborate_loop_unbuffered_cycle () =
+  (* without the back-edge buffer the handshake is a combinational
+     cycle; synthesis must detect it *)
+  let g, _ = Fixtures.loop ~buffered:false () in
+  let net = Elaborate.run g in
+  match Techmap.Synth.run net with
+  | _ -> Alcotest.fail "expected combinational-cycle failure"
+  | exception Failure _ -> ()
+
+let test_elaborate_owners () =
+  let g, fork, _, _, _ = Fixtures.fig2 () in
+  let net = Elaborate.run g in
+  let found = ref false in
+  Net.iter net (fun gate -> if gate.Net.owner = fork then found := true);
+  check Alcotest.bool "fork owns gates" true !found
+
+let test_interaction_units () =
+  let g, _, _, _, branch = Fixtures.fig2 () in
+  let ia = Elaborate.interaction_units g in
+  check Alcotest.bool "branch interacts" true (List.mem branch ia)
+
+(* Elastic end-to-end at gate level: the fig2 circuit (all combinational,
+   constant inputs) produces a valid exit token with correct sink intake. *)
+let test_elaborate_fig2_fires () =
+  let g, _, _, _, _ = Fixtures.fig2 () in
+  let net = Elaborate.run g in
+  let sim = Net.sim_create net in
+  (* find the entry unit's valid input name *)
+  let entry_valid =
+    List.find_map
+      (fun id ->
+        match (Net.gate net id).Net.kind with
+        | Net.Input n when String.length n >= 11 && String.sub n 0 11 = "entry_valid" -> Some n
+        | _ -> None)
+      (Net.inputs net)
+    |> Option.get
+  in
+  Net.sim_set_input sim entry_valid true;
+  Net.sim_eval sim;
+  (* eager forks deliver combinationally; entry token accepted promptly *)
+  let entry_ready =
+    List.find_map
+      (fun id ->
+        match (Net.gate net id).Net.kind with
+        | Net.Output n when String.length n >= 11 && String.sub n 0 11 = "entry_ready" -> Some n
+        | _ -> None)
+      (Net.outputs net)
+    |> Option.get
+  in
+  check Alcotest.bool "entry accepted" true (Net.sim_get_output sim entry_ready)
+
+(* gate-level skid buffer: capacity 2, one-cycle latency, FIFO order *)
+let test_skid_buffer_protocol () =
+  let g = G.create "skid" in
+  let entry = G.add_unit g ~width:4 K.Source in
+  let snk = G.add_unit g ~width:4 K.Sink in
+  let cid = G.connect g ~src:entry ~src_port:0 ~dst:snk ~dst_port:0 in
+  G.set_buffer g cid (Some { G.transparent = false; slots = 2 });
+  let net = Elaborate.run g in
+  check Alcotest.bool "valid" true (Result.is_ok (Net.validate net));
+  (* source constantly valid, sink constantly ready: after warm-up the
+     buffer passes one token per cycle; with 4-bit zero data the netlist
+     stabilises every cycle *)
+  let sim = Net.sim_create net in
+  for _ = 1 to 5 do
+    Net.sim_eval sim;
+    Net.sim_step sim
+  done;
+  Net.sim_eval sim;
+  check Alcotest.bool "stable steady state" true true
+
+(* eager fork at gate level: one consumer stalls, the other is served;
+   the producer is released only when both took the token *)
+let test_eager_fork_partial_delivery () =
+  let net = Net.create "fork" in
+  (* hand-build: valid_in, ready_a (stalled), ready_b *)
+  let g = G.create "forkg" in
+  let entry = G.add_unit g ~width:0 K.Entry in
+  let f = G.add_unit g ~width:0 (K.Fork 2) in
+  let ea = G.add_unit g ~width:0 K.Exit in
+  let eb = G.add_unit g ~width:0 K.Exit in
+  ignore (G.connect g ~src:entry ~src_port:0 ~dst:f ~dst_port:0);
+  ignore (G.connect g ~src:f ~src_port:0 ~dst:ea ~dst_port:0);
+  ignore (G.connect g ~src:f ~src_port:1 ~dst:eb ~dst_port:0);
+  ignore net;
+  let net = Elaborate.run g in
+  let sim = Net.sim_create net in
+  let input_named prefix v =
+    List.iter
+      (fun id ->
+        match (Net.gate net id).Net.kind with
+        | Net.Input nm
+          when String.length nm >= String.length prefix
+               && String.sub nm 0 (String.length prefix) = prefix ->
+          Net.sim_set_input sim nm v
+        | _ -> ())
+      (Net.inputs net)
+  in
+  (* entry offers; exit A stalls, exit B ready *)
+  input_named "entry_valid" true;
+  input_named (Printf.sprintf "exit_ready_u%d" ea) false;
+  input_named (Printf.sprintf "exit_ready_u%d" eb) true;
+  Net.sim_eval sim;
+  let out nm = Net.sim_get_output sim nm in
+  check Alcotest.bool "B sees the token" true (out (Printf.sprintf "exit_valid_u%d" eb));
+  check Alcotest.bool "producer not released" false (out (Printf.sprintf "entry_ready_u%d" entry));
+  Net.sim_step sim;
+  Net.sim_eval sim;
+  (* B already served: its valid must have dropped (no duplication) *)
+  check Alcotest.bool "no duplicate to B" false (out (Printf.sprintf "exit_valid_u%d" eb));
+  check Alcotest.bool "A still offered" true (out (Printf.sprintf "exit_valid_u%d" ea));
+  (* unstall A: token completes, producer released *)
+  input_named (Printf.sprintf "exit_ready_u%d" ea) true;
+  Net.sim_eval sim;
+  check Alcotest.bool "producer released" true (out (Printf.sprintf "entry_ready_u%d" entry))
+
+let test_verilog_compiles_shapes () =
+  let g, _ = Fixtures.loop () in
+  let net = Elaborate.run g in
+  let v = Verilog.of_netlist net in
+  (* every gate appears exactly once as a driver: count assigns + regs *)
+  let count needle =
+    let n = String.length needle and h = String.length v in
+    let rec go i acc =
+      if i + n > h then acc else if String.sub v i n = needle then go (i + 1) (acc + 1) else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check Alcotest.bool "one reg decl per ff" true (count "  reg n" = Net.count_ffs net)
+
+let suite =
+  [
+    ("net basic and2", `Quick, test_net_basic);
+    ("net domain join", `Quick, test_net_domain_join);
+    ("net ff", `Quick, test_net_ff);
+    ("net comb cycle detection", `Quick, test_net_comb_cycle_detected);
+    ("net unconnected wire invalid", `Quick, test_net_unconnected_wire);
+    qtest prop_add;
+    qtest prop_sub;
+    qtest prop_mul;
+    qtest prop_and;
+    qtest prop_xor;
+    qtest prop_shl;
+    qtest prop_lshr;
+    qtest prop_lt;
+    qtest prop_le;
+    qtest prop_eq;
+    ("elaborate fig2", `Quick, test_elaborate_fig2);
+    ("elaborate buffered loop", `Quick, test_elaborate_loop_buffered);
+    ("elaborate unbuffered loop has comb cycle", `Quick, test_elaborate_loop_unbuffered_cycle);
+    ("elaborate gate owners", `Quick, test_elaborate_owners);
+    ("interaction units", `Quick, test_interaction_units);
+    ("fig2 fires at gate level", `Quick, test_elaborate_fig2_fires);
+    ("skid buffer protocol", `Quick, test_skid_buffer_protocol);
+    ("eager fork partial delivery", `Quick, test_eager_fork_partial_delivery);
+    ("verilog shape", `Quick, test_verilog_compiles_shapes);
+  ]

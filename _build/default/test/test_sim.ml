@@ -1,0 +1,191 @@
+module G = Dataflow.Graph
+module K = Dataflow.Unit_kind
+module Ops = Dataflow.Ops
+module E = Sim.Elastic
+
+let check = Alcotest.check
+
+(* entry -> const -> exit : straight-line token *)
+let test_straightline () =
+  let g = G.create "straight" in
+  let entry = G.add_unit g ~width:0 K.Entry in
+  let c = G.add_unit g ~width:8 (K.Const 42) in
+  let exit_ = G.add_unit g ~width:8 K.Exit in
+  ignore (G.connect g ~src:entry ~src_port:0 ~dst:c ~dst_port:0);
+  ignore (G.connect g ~src:c ~src_port:0 ~dst:exit_ ~dst_port:0);
+  let r = E.run g in
+  check Alcotest.bool "finished" true r.E.finished;
+  check (Alcotest.option Alcotest.int) "value" (Some 42) r.E.exit_value;
+  check Alcotest.int "one cycle" 1 r.E.cycles
+
+let test_loop_counts_to_ten () =
+  let g, _ = Fixtures.loop () in
+  let r = E.run g in
+  check Alcotest.bool "finished" true r.E.finished;
+  check (Alcotest.option Alcotest.int) "exit value" (Some 10) r.E.exit_value;
+  (* one iteration per cycle through the 2-slot buffer: ~11 cycles *)
+  check Alcotest.bool "cycle count plausible" true (r.E.cycles >= 10 && r.E.cycles <= 25)
+
+let test_loop_unbuffered_fails () =
+  let g, _ = Fixtures.loop ~buffered:false () in
+  match E.run g with
+  | _ -> Alcotest.fail "expected combinational-cycle failure"
+  | exception Failure _ -> ()
+
+let test_extra_buffer_slows_loop () =
+  (* adding a redundant opaque buffer on the loop increases the cycle
+     count: the paper's motivation for avoiding over-buffering *)
+  let g1, _ = Fixtures.loop () in
+  let r1 = E.run g1 in
+  let g2, _ = Fixtures.loop () in
+  (* buffer the merge -> add channel as well *)
+  let extra =
+    G.fold_channels g2
+      (fun acc c ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let src_kind = (G.unit_node g2 c.G.src).G.kind in
+          let dst_kind = (G.unit_node g2 c.G.dst).G.kind in
+          (match (src_kind, dst_kind) with
+          | K.Merge _, K.Operator _ -> Some c.G.cid
+          | _ -> None))
+      None
+    |> Option.get
+  in
+  G.set_buffer g2 extra (Some { G.transparent = false; slots = 2 });
+  let r2 = E.run g2 in
+  check Alcotest.bool "both finish" true (r1.E.finished && r2.E.finished);
+  check Alcotest.bool "extra buffer costs cycles" true (r2.E.cycles > r1.E.cycles)
+
+let test_pipelined_mul () =
+  (* entry-triggered consts into a multiplier; mul latency 4 *)
+  let g = G.create "mul" in
+  let entry = G.add_unit g ~width:0 K.Entry in
+  let t = G.add_unit g ~width:0 (K.Fork 2) in
+  let a = G.add_unit g ~width:8 (K.Const 6) in
+  let b = G.add_unit g ~width:8 (K.Const 7) in
+  let m = G.add_unit g ~width:8 (K.operator Ops.Mul) in
+  let exit_ = G.add_unit g ~width:8 K.Exit in
+  ignore (G.connect g ~src:entry ~src_port:0 ~dst:t ~dst_port:0);
+  ignore (G.connect g ~src:t ~src_port:0 ~dst:a ~dst_port:0);
+  ignore (G.connect g ~src:t ~src_port:1 ~dst:b ~dst_port:0);
+  ignore (G.connect g ~src:a ~src_port:0 ~dst:m ~dst_port:0);
+  ignore (G.connect g ~src:b ~src_port:0 ~dst:m ~dst_port:1);
+  ignore (G.connect g ~src:m ~src_port:0 ~dst:exit_ ~dst_port:0);
+  let r = E.run g in
+  check Alcotest.bool "finished" true r.E.finished;
+  check (Alcotest.option Alcotest.int) "6*7" (Some 42) r.E.exit_value;
+  check Alcotest.bool "latency >= 4" true (r.E.cycles >= 4)
+
+let test_memory_store_load () =
+  (* store 99 at addr 3, then load it back; sequencing via store token *)
+  let g = G.create "mem" in
+  G.add_memory g "m" 16;
+  let entry = G.add_unit g ~width:0 K.Entry in
+  let t = G.add_unit g ~width:0 (K.Fork 2) in
+  let addr = G.add_unit g ~width:8 (K.Const 3) in
+  let data = G.add_unit g ~width:8 (K.Const 99) in
+  let st = G.add_unit g ~width:0 (K.Store { mem = "m" }) in
+  let addr2 = G.add_unit g ~width:8 (K.Const 3) in
+  let ld = G.add_unit g ~width:8 (K.Load { mem = "m"; latency = 2 }) in
+  let exit_ = G.add_unit g ~width:8 K.Exit in
+  ignore (G.connect g ~src:entry ~src_port:0 ~dst:t ~dst_port:0);
+  ignore (G.connect g ~src:t ~src_port:0 ~dst:addr ~dst_port:0);
+  ignore (G.connect g ~src:t ~src_port:1 ~dst:data ~dst_port:0);
+  ignore (G.connect g ~src:addr ~src_port:0 ~dst:st ~dst_port:0);
+  ignore (G.connect g ~src:data ~src_port:0 ~dst:st ~dst_port:1);
+  (* store completion token triggers the load address constant *)
+  ignore (G.connect g ~src:st ~src_port:0 ~dst:addr2 ~dst_port:0);
+  ignore (G.connect g ~src:addr2 ~src_port:0 ~dst:ld ~dst_port:0);
+  ignore (G.connect g ~src:ld ~src_port:0 ~dst:exit_ ~dst_port:0);
+  let mem = Array.make 16 0 in
+  let r = E.run ~memories:[ ("m", mem) ] g in
+  check Alcotest.bool "finished" true r.E.finished;
+  check (Alcotest.option Alcotest.int) "loaded" (Some 99) r.E.exit_value;
+  check Alcotest.int "memory mutated" 99 mem.(3)
+
+let test_deadlock_detected () =
+  (* join whose second input never receives a token: deadlock *)
+  let g = G.create "deadlock" in
+  let entry = G.add_unit g ~width:0 K.Entry in
+  let j = G.add_unit g ~width:0 (K.Join 2) in
+  let never = G.add_unit g ~width:0 K.Entry in
+  let exit_ = G.add_unit g ~width:0 K.Exit in
+  ignore (G.connect g ~src:entry ~src_port:0 ~dst:j ~dst_port:0);
+  ignore (G.connect g ~src:never ~src_port:0 ~dst:j ~dst_port:1);
+  ignore (G.connect g ~src:j ~src_port:0 ~dst:exit_ ~dst_port:0);
+  (* 'never' emits one token too (it is an Entry), so this actually
+     completes; make it not fire by pre-consuming: use a sink setup
+     instead — simply mark the second entry as already emitted via a
+     zero-token trick: connect through a branch conditioned false.
+     Simplest deadlock: join fed twice from the same fork output is
+     impossible by construction, so emulate with a const that never
+     triggers: a source-less const is invalid... use max_cycles. *)
+  let r = E.run ~config:{ E.max_cycles = 50; deadlock_window = 10 } g in
+  (* both entries emit, so it finishes; this asserts the detector does
+     not fire spuriously on a completing circuit *)
+  check Alcotest.bool "no spurious deadlock" true (r.E.finished && not r.E.deadlocked)
+
+let test_true_deadlock () =
+  (* branch sends the token to the false side; the true-side join input
+     never arrives -> deadlock *)
+  let g = G.create "deadlock2" in
+  let entry = G.add_unit g ~width:0 K.Entry in
+  let ef = G.add_unit g ~width:0 (K.Fork 2) in
+  let zero = G.add_unit g ~width:1 (K.Const 0) in
+  let v = G.add_unit g ~width:8 (K.Const 5) in
+  let br = G.add_unit g ~width:8 K.Branch in
+  let j = G.add_unit g ~width:8 (K.Join 2) in
+  let snk = G.add_unit g ~width:8 K.Sink in
+  let src2 = G.add_unit g ~width:8 K.Source in
+  let exit_ = G.add_unit g ~width:8 K.Exit in
+  ignore (G.connect g ~src:entry ~src_port:0 ~dst:ef ~dst_port:0);
+  ignore (G.connect g ~src:ef ~src_port:0 ~dst:zero ~dst_port:0);
+  ignore (G.connect g ~src:ef ~src_port:1 ~dst:v ~dst_port:0);
+  ignore (G.connect g ~src:v ~src_port:0 ~dst:br ~dst_port:0);
+  ignore (G.connect g ~src:zero ~src_port:0 ~dst:br ~dst_port:1);
+  (* true side feeds the join; false side is discarded *)
+  ignore (G.connect g ~src:br ~src_port:0 ~dst:j ~dst_port:0);
+  ignore (G.connect g ~src:br ~src_port:1 ~dst:snk ~dst_port:0);
+  ignore (G.connect g ~src:src2 ~src_port:0 ~dst:j ~dst_port:1);
+  ignore (G.connect g ~src:j ~src_port:0 ~dst:exit_ ~dst_port:0);
+  let r = E.run ~config:{ E.max_cycles = 1000; deadlock_window = 20 } g in
+  check Alcotest.bool "deadlocked" true r.E.deadlocked;
+  check Alcotest.bool "not finished" false r.E.finished
+
+let test_transparent_buffer_no_latency () =
+  let g = G.create "tbuf" in
+  let entry = G.add_unit g ~width:0 K.Entry in
+  let c = G.add_unit g ~width:8 (K.Const 7) in
+  let exit_ = G.add_unit g ~width:8 K.Exit in
+  ignore (G.connect g ~src:entry ~src_port:0 ~dst:c ~dst_port:0);
+  let cid = G.connect g ~src:c ~src_port:0 ~dst:exit_ ~dst_port:0 in
+  G.set_buffer g cid (Some { G.transparent = true; slots = 1 });
+  let r = E.run g in
+  check Alcotest.int "still one cycle" 1 r.E.cycles
+
+let test_opaque_buffer_adds_latency () =
+  let g = G.create "obuf" in
+  let entry = G.add_unit g ~width:0 K.Entry in
+  let c = G.add_unit g ~width:8 (K.Const 7) in
+  let exit_ = G.add_unit g ~width:8 K.Exit in
+  ignore (G.connect g ~src:entry ~src_port:0 ~dst:c ~dst_port:0);
+  let cid = G.connect g ~src:c ~src_port:0 ~dst:exit_ ~dst_port:0 in
+  G.set_buffer g cid (Some { G.transparent = false; slots = 2 });
+  let r = E.run g in
+  check Alcotest.int "two cycles" 2 r.E.cycles
+
+let suite =
+  [
+    ("straight line", `Quick, test_straightline);
+    ("loop counts to ten", `Quick, test_loop_counts_to_ten);
+    ("unbuffered loop rejected", `Quick, test_loop_unbuffered_fails);
+    ("extra buffer slows loop", `Quick, test_extra_buffer_slows_loop);
+    ("pipelined multiplier", `Quick, test_pipelined_mul);
+    ("memory store/load", `Quick, test_memory_store_load);
+    ("no spurious deadlock", `Quick, test_deadlock_detected);
+    ("true deadlock detected", `Quick, test_true_deadlock);
+    ("transparent buffer latency-free", `Quick, test_transparent_buffer_no_latency);
+    ("opaque buffer adds a cycle", `Quick, test_opaque_buffer_adds_latency);
+  ]

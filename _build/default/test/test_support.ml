@@ -1,0 +1,125 @@
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Support.Rng.create 42 and b = Support.Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Support.Rng.int a 1000) (Support.Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Support.Rng.create 1 and b = Support.Rng.create 2 in
+  let xs = List.init 10 (fun _ -> Support.Rng.int a 1_000_000) in
+  let ys = List.init 10 (fun _ -> Support.Rng.int b 1_000_000) in
+  check Alcotest.bool "different streams" true (xs <> ys)
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:200
+    QCheck.(pair (int_range 0 10_000) (int_range 1 1_000))
+    (fun (seed, bound) ->
+      let rng = Support.Rng.create seed in
+      let v = Support.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"rng float stays in bounds" ~count:200
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Support.Rng.create seed in
+      let v = Support.Rng.float rng 3.5 in
+      v >= 0. && v < 3.5)
+
+let test_rng_shuffle_permutation () =
+  let rng = Support.Rng.create 7 in
+  let a = Array.init 50 (fun i -> i) in
+  Support.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_split_independent () =
+  let rng = Support.Rng.create 9 in
+  let child = Support.Rng.split rng in
+  let a = Support.Rng.int rng 1000 and b = Support.Rng.int child 1000 in
+  (* not a strong property, but the streams should diverge *)
+  let a2 = Support.Rng.int rng 1000 and b2 = Support.Rng.int child 1000 in
+  check Alcotest.bool "streams diverge" true ((a, a2) <> (b, b2))
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_push_get () =
+  let v = Support.Vec.create () in
+  for i = 0 to 99 do
+    check Alcotest.int "index returned" i (Support.Vec.push v (i * 2))
+  done;
+  check Alcotest.int "length" 100 (Support.Vec.length v);
+  check Alcotest.int "get" 84 (Support.Vec.get v 42);
+  Support.Vec.set v 42 7;
+  check Alcotest.int "set" 7 (Support.Vec.get v 42)
+
+let test_vec_bounds () =
+  let v = Support.Vec.create () in
+  ignore (Support.Vec.push v 1);
+  (match Support.Vec.get v 1 with
+  | _ -> Alcotest.fail "expected out of bounds"
+  | exception Invalid_argument _ -> ());
+  match Support.Vec.get v (-1) with
+  | _ -> Alcotest.fail "expected out of bounds"
+  | exception Invalid_argument _ -> ()
+
+let test_vec_iterators () =
+  let v = Support.Vec.create () in
+  List.iter (fun x -> ignore (Support.Vec.push v x)) [ 1; 2; 3; 4 ];
+  check Alcotest.int "fold" 10 (Support.Vec.fold ( + ) 0 v);
+  check Alcotest.(list int) "to_list" [ 1; 2; 3; 4 ] (Support.Vec.to_list v);
+  check Alcotest.(list int) "map_to_list" [ 2; 4; 6; 8 ] (Support.Vec.map_to_list (fun x -> 2 * x) v);
+  check Alcotest.bool "exists" true (Support.Vec.exists (fun x -> x = 3) v);
+  check (Alcotest.option Alcotest.int) "find_index" (Some 2)
+    (Support.Vec.find_index (fun x -> x = 3) v)
+
+(* ------------------------------------------------------------------ *)
+(* Union-find *)
+
+let test_uf_basic () =
+  let uf = Support.Union_find.create 6 in
+  Support.Union_find.union uf 0 1;
+  Support.Union_find.union uf 2 3;
+  Support.Union_find.union uf 1 2;
+  check Alcotest.bool "0~3" true (Support.Union_find.same uf 0 3);
+  check Alcotest.bool "0!~4" false (Support.Union_find.same uf 0 4);
+  let classes = Support.Union_find.classes uf in
+  let sizes = Array.to_list classes |> List.map List.length |> List.filter (( <> ) 0) in
+  check (Alcotest.list Alcotest.int) "class sizes" [ 4; 1; 1 ] (List.sort (fun a b -> compare b a) sizes)
+
+let prop_uf_transitive =
+  QCheck.Test.make ~name:"union-find transitivity" ~count:100
+    QCheck.(pair (int_range 2 30) (list_of_size (Gen.int_range 0 40) (pair small_nat small_nat)))
+    (fun (n, pairs) ->
+      let uf = Support.Union_find.create n in
+      List.iter (fun (a, b) -> Support.Union_find.union uf (a mod n) (b mod n)) pairs;
+      (* representatives are consistent *)
+      List.for_all
+        (fun (a, b) ->
+          let a = a mod n and b = b mod n in
+          Support.Union_find.same uf a b
+          = (Support.Union_find.find uf a = Support.Union_find.find uf b))
+        pairs)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    qtest prop_rng_bounds;
+    qtest prop_rng_float_bounds;
+    ("rng shuffle is a permutation", `Quick, test_rng_shuffle_permutation);
+    ("rng split", `Quick, test_rng_split_independent);
+    ("vec push/get/set", `Quick, test_vec_push_get);
+    ("vec bounds checked", `Quick, test_vec_bounds);
+    ("vec iterators", `Quick, test_vec_iterators);
+    ("union-find basics", `Quick, test_uf_basic);
+    qtest prop_uf_transitive;
+  ]
