@@ -192,6 +192,86 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Simulate a kernel and report hot channels and the critical path.")
     Term.(const run $ kernels_arg)
 
+(* ---- lint ---- *)
+
+(* Runs every stage of the flow once (seed, elaborate, synthesise, map,
+   model, MILP) purely to audit the artefacts with the lint rule set; no
+   simulation or placement, so this is much cheaper than `flow`. *)
+let lint_kernel ~levels k =
+  let raw = Hls.Kernels.graph k in
+  let pre = Lint.Engine.check_graph ~stage:Lint.Dfg_rules.Pre_buffering raw in
+  let g = Dataflow.Graph.copy raw in
+  ignore (Core.Flow.seed_back_edges g);
+  let post = Lint.Engine.check_graph g in
+  let net = Elaborate.run g in
+  let r_net = Lint.Engine.check_netlist g net in
+  let synth = Techmap.Synth.run net in
+  let lg = Techmap.Mapper.run ~k:6 synth in
+  let tg, model = Timing.Mapping_aware.build_with_graph g ~net lg in
+  let r_map = Lint.Engine.check_mapping g lg tg model in
+  let cp_target = float_of_int levels *. 0.7 in
+  let milp_cfg = { Buffering.Formulation.default_config with cp_target } in
+  let cfdfcs = Buffering.Cfdfc.extract g in
+  let r_milp =
+    match Buffering.Formulation.solve milp_cfg g model cfdfcs with
+    | Error msg -> Lint.Engine.of_diagnostics [ Lint.Milp_rules.solve_failure msg ]
+    | Ok p ->
+      Lint.Engine.check_milp ~cp_target ~buffered:p.Buffering.Formulation.all_buffered model
+        p.Buffering.Formulation.lp p.Buffering.Formulation.solution
+  in
+  List.fold_left Lint.Engine.merge Lint.Engine.empty [ pre; post; r_net; r_map; r_milp ]
+
+let lint_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc:"Kernels (default: all nine).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.") in
+  let fail_on_warning =
+    Arg.(value & flag & info [ "fail-on-warning" ] ~doc:"Exit non-zero on warnings too.")
+  in
+  let levels =
+    Arg.(value & opt int 6 & info [ "levels" ] ~docv:"N" ~doc:"Target logic levels (default 6).")
+  in
+  let rules = Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalogue and exit.") in
+  let run names json fail_on_warning levels rules =
+    if rules then Format.printf "%a" Lint.Engine.pp_catalogue ()
+    else begin
+      let ks =
+        match names with
+        | [] -> Hls.Kernels.all
+        | names -> List.map Hls.Kernels.by_name names
+      in
+      (* lint and report kernel by kernel: big-kernel MILP solves can
+         take minutes, so the output streams *)
+      if json then print_string "[";
+      let failed =
+        List.fold_left
+          (fun (failed, i) k ->
+            let name = k.Hls.Kernels.name in
+            let r = lint_kernel ~levels k in
+            if json then begin
+              if i > 0 then print_string ",";
+              print_string (Lint.Engine.report_to_json ~label:name r)
+            end
+            else Format.printf "%-15s %a@." name Lint.Engine.pp_report r;
+            Format.print_flush ();
+            flush stdout;
+            ( failed
+              || (not (Lint.Engine.ok r))
+              || (fail_on_warning && not (Lint.Engine.clean r)),
+              i + 1 ))
+          (false, 0) ks
+        |> fst
+      in
+      if json then print_endline "]";
+      if failed then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify kernels: DFG structure, netlist, LUT mapping, MILP certificate.")
+    Term.(const run $ names $ json $ fail_on_warning $ levels $ rules)
+
 (* ---- compare ---- *)
 
 let compare_cmd =
@@ -217,4 +297,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; flow_cmd; compare_cmd; export_cmd; profile_cmd; compile_cmd ]))
+          [
+            list_cmd;
+            show_cmd;
+            flow_cmd;
+            lint_cmd;
+            compare_cmd;
+            export_cmd;
+            profile_cmd;
+            compile_cmd;
+          ]))

@@ -22,6 +22,8 @@ type placement = {
   unfixable_paths : int;
   milp_vars : int;
   milp_constrs : int;
+  lp : Milp.Lp.t;
+  solution : float array;
 }
 
 let solve cfg g (model : M.t) cfdfcs =
@@ -179,4 +181,6 @@ let solve cfg g (model : M.t) cfdfcs =
         unfixable_paths = !unfixable;
         milp_vars = Milp.Lp.n_vars lp;
         milp_constrs = Milp.Lp.n_constrs lp;
+        lp;
+        solution = x;
       }

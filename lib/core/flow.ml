@@ -10,6 +10,7 @@ type config = {
   routing_aware : bool;
   slack_match : bool;
   balance : bool;
+  lint_gates : bool;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     routing_aware = false;
     slack_match = false;
     balance = false;
+    lint_gates = true;
   }
 
 type iteration = {
@@ -42,6 +44,7 @@ type outcome = {
   met_target : bool;
   final_levels : int;
   total_buffers : int;
+  lint : Lint.Engine.report;
 }
 
 let opaque = Some { G.transparent = false; slots = 2 }
@@ -86,16 +89,28 @@ let sparse_min_penalty_subset g (model : Timing.Model.t) proposed =
     proposed;
   Hashtbl.fold (fun _ (cid, _) acc -> cid :: acc) best [] |> List.sort compare
 
+(* Lint gates (errors abort with [Lint.Engine.Lint_error], warnings and
+   infos accumulate into the outcome's run report). Each stage of the
+   flow is audited right after it produced its artefact, so a malformed
+   graph or an unsound mapping is reported at its source instead of as a
+   wrong frequency number three stages later. *)
+let run_gate config collected ~stage check =
+  if config.lint_gates then
+    collected := Lint.Engine.merge !collected (Lint.Engine.gate ~stage (check ()))
+
 let iterative ?(config = default_config) input =
   let g0 = G.copy input in
   G.clear_buffers g0;
   let seeded = seed_back_edges g0 in
   ignore seeded;
+  let lint_acc = ref Lint.Engine.empty in
+  run_gate config lint_acc ~stage:"dfg" (fun () -> Lint.Engine.check_graph g0);
   let iterations = ref [] in
   let rec iterate it fixed =
     (* the working circuit for this iteration: base + fixed buffers *)
     let g = apply_buffers g0 fixed in
     let net, lg = synth_map config g in
+    run_gate config lint_acc ~stage:"netlist" (fun () -> Lint.Engine.check_netlist g net);
     (* optional routing awareness (§VI future work): fold estimated wire
        delays from a quick placement into each LUT's delay *)
     let lut_extra =
@@ -119,11 +134,19 @@ let iterative ?(config = default_config) input =
         fun l -> max_in.(l)
       end
     in
-    let model = Timing.Mapping_aware.build ~lut_delay:config.level_delay ~lut_extra g ~net lg in
+    let tg, model =
+      Timing.Mapping_aware.build_with_graph ~lut_delay:config.level_delay ~lut_extra g ~net lg
+    in
+    run_gate config lint_acc ~stage:"lut-mapping" (fun () ->
+        Lint.Engine.check_mapping g lg tg model);
     let cfdfcs = Buffering.Cfdfc.extract g in
     match Buffering.Formulation.solve config.milp g model cfdfcs with
     | Error msg -> failwith ("Flow.iterative: " ^ msg)
     | Ok placement ->
+      run_gate config lint_acc ~stage:"milp" (fun () ->
+          Lint.Engine.check_milp ~cp_target:config.milp.Buffering.Formulation.cp_target
+            ~buffered:placement.Buffering.Formulation.all_buffered model
+            placement.Buffering.Formulation.lp placement.Buffering.Formulation.solution);
       let candidate = apply_buffers g (placement.Buffering.Formulation.new_buffers) in
       let achieved = levels_of config candidate in
       let met = achieved <= config.target_levels in
@@ -147,12 +170,15 @@ let iterative ?(config = default_config) input =
         :: !iterations;
       if met || last then begin
         if config.slack_match then ignore (Buffering.Slack.apply candidate);
+        run_gate config lint_acc ~stage:"final-dfg" (fun () ->
+            Lint.Engine.check_graph candidate);
         {
           graph = candidate;
           iterations = List.rev !iterations;
           met_target = met;
           final_levels = achieved;
           total_buffers = List.length (G.buffered_channels candidate);
+          lint = !lint_acc;
         }
       end
       else iterate (it + 1) (List.sort_uniq compare (fixed @ kept))
@@ -163,12 +189,18 @@ let baseline ?(config = default_config) input =
   let g = G.copy input in
   G.clear_buffers g;
   let _ = seed_back_edges g in
+  let lint_acc = ref Lint.Engine.empty in
+  run_gate config lint_acc ~stage:"dfg" (fun () -> Lint.Engine.check_graph g);
   let model = Timing.Precharacterized.build g in
   let cfdfcs = Buffering.Cfdfc.extract g in
   let milp = { config.milp with Buffering.Formulation.use_penalty = false } in
   match Buffering.Formulation.solve milp g model cfdfcs with
   | Error msg -> failwith ("Flow.baseline: " ^ msg)
   | Ok placement ->
+    run_gate config lint_acc ~stage:"milp" (fun () ->
+        Lint.Engine.check_milp ~cp_target:milp.Buffering.Formulation.cp_target
+          ~buffered:placement.Buffering.Formulation.all_buffered model
+          placement.Buffering.Formulation.lp placement.Buffering.Formulation.solution);
     let final = apply_buffers g placement.Buffering.Formulation.new_buffers in
     let achieved = levels_of config final in
     {
@@ -190,4 +222,5 @@ let baseline ?(config = default_config) input =
       met_target = achieved <= config.target_levels;
       final_levels = achieved;
       total_buffers = List.length (G.buffered_channels final);
+      lint = !lint_acc;
     }

@@ -32,6 +32,10 @@ type config = {
       (** run the depth-reducing AND re-association pass before LUT
           mapping (ABC's [balance]; off to match the paper's `if -K 6`
           only run) *)
+  lint_gates : bool;
+      (** audit every stage with the {!module:Lint} rule set: errors
+          abort the run with {!Lint.Engine.Lint_error}, warnings and
+          infos are collected into {!outcome.lint} (on by default) *)
 }
 
 val default_config : config
@@ -54,6 +58,7 @@ type outcome = {
   met_target : bool;
   final_levels : int;
   total_buffers : int;
+  lint : Lint.Engine.report;    (** non-fatal findings from the stage gates *)
 }
 
 val seed_back_edges : Dataflow.Graph.t -> Dataflow.Graph.channel_id list

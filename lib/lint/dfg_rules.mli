@@ -1,0 +1,29 @@
+(** Structural lint rules over the dataflow graph.
+
+    - [dfg-unconnected-port] (error): a unit port with no channel — the
+      handshake protocol requires every port wired exactly once.
+    - [dfg-unreachable-unit] (warning): a unit no token from any entry or
+      source unit can ever reach; it is dead hardware.
+    - [dfg-comb-cycle] (error, post-buffering stage): a cycle none of
+      whose channels carries an opaque buffer — an unbreakable
+      combinational loop that elaboration/simulation would reject.
+    - [dfg-no-back-edge] (warning, pre-buffering stage): a cyclic SCC
+      with neither a marked loop back edge nor an opaque buffer, so the
+      flow has no principled place to break it and must fall back to DFS
+      back-edge classification.
+    - [dfg-self-loop] (error): a channel with [src = dst] and no opaque
+      buffer (pre-buffering: and no back-edge mark) — a one-unit
+      combinational loop.
+    - [dfg-width-mismatch] (warning): operand widths of a binary
+      operator disagree, or a mux/merge/branch/buffer input width
+      disagrees with the unit's width. *)
+
+type stage =
+  | Pre_buffering   (** raw front-end output: cycles are expected, but must be breakable *)
+  | Post_buffering  (** after back-edge seeding / placement: every cycle must hold a buffer *)
+
+val rules : Rule.info list
+
+val check : ?stage:stage -> Dataflow.Graph.t -> Diagnostic.t list
+(** Runs every DFG rule applicable at [stage] (default
+    [Post_buffering]). *)

@@ -1,0 +1,71 @@
+type severity = Error | Warning | Info
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+let severity_compare a b = compare (severity_rank a) (severity_rank b)
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+type location =
+  | Unit of int
+  | Channel of int
+  | Lut of int
+  | Gate of int
+  | Milp_row of int
+  | Milp_var of int
+  | Timing_node of int
+  | Whole
+
+type t = {
+  rule : string;
+  severity : severity;
+  loc : location;
+  message : string;
+}
+
+let make ~rule ~severity ~loc message = { rule; severity; loc; message }
+
+let pp_severity fmt s = Fmt.string fmt (severity_name s)
+
+let location_parts = function
+  | Unit i -> ("unit", Some i)
+  | Channel i -> ("channel", Some i)
+  | Lut i -> ("lut", Some i)
+  | Gate i -> ("gate", Some i)
+  | Milp_row i -> ("milp-row", Some i)
+  | Milp_var i -> ("milp-var", Some i)
+  | Timing_node i -> ("timing-node", Some i)
+  | Whole -> ("whole", None)
+
+let pp_location fmt loc =
+  match location_parts loc with
+  | kind, Some i -> Fmt.pf fmt "%s %d" kind i
+  | kind, None -> Fmt.string fmt kind
+
+let pp fmt d =
+  Fmt.pf fmt "%-7s %s @@ %a: %s" (severity_name d.severity) d.rule pp_location d.loc d.message
+
+(* Minimal JSON string escaping: quotes, backslashes and control bytes
+   (rule messages embed unit labels, which are user-controlled in the
+   mini-C front end). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  let kind, id = location_parts d.loc in
+  let loc =
+    match id with
+    | Some i -> Printf.sprintf "{\"kind\":\"%s\",\"id\":%d}" kind i
+    | None -> Printf.sprintf "{\"kind\":\"%s\"}" kind
+  in
+  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\"}"
+    (json_escape d.rule) (severity_name d.severity) loc (json_escape d.message)

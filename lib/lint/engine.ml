@@ -1,0 +1,86 @@
+module D = Diagnostic
+
+type report = {
+  diagnostics : D.t list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+exception Lint_error of report
+
+let empty = { diagnostics = []; errors = 0; warnings = 0; infos = 0 }
+
+let of_diagnostics ds =
+  let count sev = List.length (List.filter (fun d -> d.D.severity = sev) ds) in
+  {
+    diagnostics = ds;
+    errors = count D.Error;
+    warnings = count D.Warning;
+    infos = count D.Info;
+  }
+
+let merge a b =
+  {
+    diagnostics = a.diagnostics @ b.diagnostics;
+    errors = a.errors + b.errors;
+    warnings = a.warnings + b.warnings;
+    infos = a.infos + b.infos;
+  }
+
+let ok r = r.errors = 0
+let clean r = r.errors = 0 && r.warnings = 0
+
+let gate ~stage r =
+  if ok r then r
+  else
+    raise
+      (Lint_error
+         (of_diagnostics
+            (List.map
+               (fun d -> { d with D.message = Printf.sprintf "[%s] %s" stage d.D.message })
+               r.diagnostics)))
+
+(* Referencing the rule modules here forces their registration even if a
+   client only ever touches the engine. *)
+let check_graph ?stage g = of_diagnostics (Dfg_rules.check ?stage g)
+let check_netlist g net = of_diagnostics (Net_rules.check g net)
+let check_mapping g lg tg model = of_diagnostics (Lut_rules.check g lg tg model)
+
+let check_milp ~cp_target ~buffered model lp x =
+  of_diagnostics (Milp_rules.check ~cp_target ~buffered model lp x)
+
+let pp_report fmt r =
+  if r.diagnostics = [] then Fmt.pf fmt "lint: clean"
+  else begin
+    Fmt.pf fmt "lint: %d error(s), %d warning(s), %d info(s)" r.errors r.warnings r.infos;
+    List.iter (fun d -> Fmt.pf fmt "@\n  %a" D.pp d) r.diagnostics
+  end
+
+let report_to_json ?label r =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  (match label with
+  | Some l -> Buffer.add_string b (Printf.sprintf "\"label\":\"%s\"," (D.json_escape l))
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"diagnostics\":[" r.errors
+       r.warnings r.infos);
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (D.to_json d))
+    r.diagnostics;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let catalogue () =
+  (* the list heads force linkage of every rule module *)
+  ignore Dfg_rules.rules;
+  ignore Net_rules.rules;
+  ignore Lut_rules.rules;
+  ignore Milp_rules.rules;
+  Rule.all ()
+
+let pp_catalogue fmt () =
+  List.iter (fun r -> Fmt.pf fmt "%a@\n" Rule.pp_info r) (catalogue ())

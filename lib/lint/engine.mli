@@ -1,0 +1,60 @@
+(** The lint driver: runs rule groups over flow artefacts, aggregates
+    structured reports, and renders them for humans ([Fmt]) or machines
+    (JSON).
+
+    The flow ({!module:Core.Flow} once wired) uses the [check_*]
+    functions as pre/post-stage gates: a report containing errors aborts
+    the run ({!Lint_error}); warnings and infos ride along in the run
+    report. *)
+
+type report = {
+  diagnostics : Diagnostic.t list;  (** in emission order *)
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+exception Lint_error of report
+(** Raised by {!gate} when a report contains at least one error. *)
+
+val empty : report
+val of_diagnostics : Diagnostic.t list -> report
+val merge : report -> report -> report
+val ok : report -> bool
+(** No errors (warnings and infos allowed). *)
+
+val clean : report -> bool
+(** No errors and no warnings. *)
+
+val gate : stage:string -> report -> report
+(** Identity when {!ok}; raises {!Lint_error} otherwise, with the stage
+    name prefixed to the report's diagnostics for context. *)
+
+(** {2 Stage checkers} *)
+
+val check_graph : ?stage:Dfg_rules.stage -> Dataflow.Graph.t -> report
+val check_netlist : Dataflow.Graph.t -> Net.t -> report
+
+val check_mapping :
+  Dataflow.Graph.t -> Techmap.Lutgraph.t -> Timing.Lut_map.t -> Timing.Model.t -> report
+
+val check_milp :
+  cp_target:float ->
+  buffered:Dataflow.Graph.channel_id list ->
+  Timing.Model.t ->
+  Milp.Lp.t ->
+  float array ->
+  report
+
+(** {2 Rendering} *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : ?label:string -> report -> string
+(** One JSON object; [label] (e.g. the kernel name) is included when
+    given. *)
+
+val catalogue : unit -> Rule.info list
+(** All registered rules (forces registration of the built-in rule
+    modules). *)
+
+val pp_catalogue : Format.formatter -> unit -> unit

@@ -1,0 +1,31 @@
+(** Lint rules over the LUT-to-DFG mapping and the mapping-aware timing
+    model (§IV of the paper).
+
+    - [lut-owner-invalid] (error): a LUT labelled with a unit id that
+      does not exist in the graph — the mapping must label every LUT
+      with a live unit.
+    - [lut-owner-undetermined] (info): a LUT with owner [-1]; its delay
+      cannot be attributed to any unit, weakening the penalty model.
+    - [lut-unmapped-edges] (info): LUT edges for which no DFG path (in
+      either direction, nor through a domain-interaction unit) exists;
+      they were kept as explicitly artificial direct edges (the §IV-A
+      one-edge-to-no-path rule).
+    - [lut-fake-accounting] (error): the [n_real]/[n_fake] counters must
+      match the delay nodes actually present, with one real node per
+      mapped LUT and no negative counts.
+    - [lut-cross-buffered] (error): a timing-graph crossing node on an
+      opaque-buffered channel — the mapper routed a combinational path
+      through a register.
+    - [lut-timing-cycle] (error): the node-level timing graph must be
+      acyclic (it is a subdivision of the acyclic LUT network).
+    - [lut-penalty-range] (error): every channel penalty (Eq. 2) must be
+      a finite value in [0, 1]. *)
+
+val rules : Rule.info list
+
+val check :
+  Dataflow.Graph.t ->
+  Techmap.Lutgraph.t ->
+  Timing.Lut_map.t ->
+  Timing.Model.t ->
+  Diagnostic.t list

@@ -1,0 +1,41 @@
+(** MILP solution-certificate rules.
+
+    The simplex / branch-and-bound code is trusted nowhere: a returned
+    solution is re-evaluated against every constraint row, bound and
+    integrality requirement of the model it allegedly solves, and —
+    independently of the LP encoding — against the clock-period target by
+    re-propagating worst-case arrival times over the timing model's delay
+    pairs with the chosen buffer set.
+
+    - [milp-row-violated] (error): a constraint row the solution does not
+      satisfy.
+    - [milp-bound-violated] (error): a variable outside its bounds.
+    - [milp-integrality] (error): a binary/integer variable with a
+      fractional value.
+    - [milp-cp-exceeded] (error): a register-to-register segment that the
+      chosen buffers leave longer than the clock-period target even
+      though buffering could have fixed it (an independent re-derivation,
+      not a re-check of the LP rows).
+    - [milp-unfixable-path] (info): segments longer than the target that
+      no buffer placement can fix (delay accumulated strictly inside
+      units or on a single unbreakable hop); the iterative flow tolerates
+      and reports these.
+    - [milp-solve-failed] (error): the solver reported infeasible /
+      unbounded (or failed outright) on a model that should always admit
+      the buffer-everywhere solution. *)
+
+val rules : Rule.info list
+
+val check :
+  cp_target:float ->
+  buffered:Dataflow.Graph.channel_id list ->
+  Timing.Model.t ->
+  Milp.Lp.t ->
+  float array ->
+  Diagnostic.t list
+(** [check ~cp_target ~buffered model lp x] audits solution [x] of [lp];
+    [buffered] is the full set of opaque-buffered channels the solution
+    implies (pre-existing plus newly placed). *)
+
+val solve_failure : string -> Diagnostic.t
+(** A [milp-solve-failed] finding carrying the solver's error message. *)

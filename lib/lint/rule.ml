@@ -1,0 +1,41 @@
+type target = Dfg | Netlist | Lut_mapping | Milp
+
+let target_name = function
+  | Dfg -> "dfg"
+  | Netlist -> "netlist"
+  | Lut_mapping -> "lut-mapping"
+  | Milp -> "milp"
+
+let target_rank = function Dfg -> 0 | Netlist -> 1 | Lut_mapping -> 2 | Milp -> 3
+
+type info = {
+  id : string;
+  target : target;
+  severity : Diagnostic.severity;
+  doc : string;
+}
+
+let registry : (string, info) Hashtbl.t = Hashtbl.create 32
+
+let register r =
+  if Hashtbl.mem registry r.id then
+    invalid_arg (Printf.sprintf "Lint.Rule.register: duplicate rule id %s" r.id);
+  Hashtbl.replace registry r.id r
+
+let find id = Hashtbl.find_opt registry id
+
+let all () =
+  Hashtbl.fold (fun _ r acc -> r :: acc) registry []
+  |> List.sort (fun a b ->
+         match compare (target_rank a.target) (target_rank b.target) with
+         | 0 -> compare a.id b.id
+         | c -> c)
+
+let diag r ~loc fmt =
+  Format.kasprintf
+    (fun message -> Diagnostic.make ~rule:r.id ~severity:r.severity ~loc message)
+    fmt
+
+let pp_info fmt r =
+  Fmt.pf fmt "%-24s %-11s %-7s %s" r.id (target_name r.target)
+    (Diagnostic.severity_name r.severity) r.doc

@@ -70,7 +70,16 @@ let solve ?(node_limit = 50_000) ?(eps = 1e-6) ?(time_limit = 120.) ?initial lp 
   in
   let apply_fixes fixes =
     restore ();
-    List.iter (fun (v, lo, hi) -> Lp.set_bounds lp v ~lo ~hi) fixes
+    (* a node's box is the intersection of all its fixes: the same
+       variable can be branched more than once down a path (general
+       integers with a range wider than one), and the newest fix sits at
+       the head of the list — overwriting instead of intersecting would
+       silently widen the box back *)
+    List.iter
+      (fun (v, lo, hi) ->
+        let cur_lo, cur_hi = Lp.bounds lp v in
+        Lp.set_bounds lp v ~lo:(max lo cur_lo) ~hi:(min hi cur_hi))
+      fixes
   in
   let frac x = abs_float (x -. Float.round x) in
   let most_fractional x =

@@ -58,6 +58,8 @@ let constr t i =
   let c = Support.Vec.get t.constrs i in
   (c.terms, c.rel, c.rhs)
 
+let constr_name t i = (Support.Vec.get t.constrs i).cname
+
 let set_objective t ~maximize terms =
   t.maximize <- maximize;
   t.obj <- normalize terms
@@ -83,6 +85,52 @@ let feasible t ?(eps = 1e-6) x =
       t.constrs
   end;
   !ok
+
+type violation =
+  | V_constr of { row : int; name : string; lhs : float; rel : relation; rhs : float }
+  | V_bound of { var : int; value : float; lo : float; hi : float }
+  | V_integrality of { var : int; value : float }
+
+let violations t ?(eps = 1e-6) x =
+  if Array.length x <> n_vars t then
+    invalid_arg
+      (Printf.sprintf "Lp.violations: assignment has %d entries for %d variables"
+         (Array.length x) (n_vars t));
+  let acc = ref [] in
+  Support.Vec.iteri
+    (fun i v ->
+      if x.(i) < v.lo -. eps || x.(i) > v.hi +. eps then
+        acc := V_bound { var = i; value = x.(i); lo = v.lo; hi = v.hi } :: !acc;
+      match v.kind with
+      | Binary | Integer ->
+        if abs_float (x.(i) -. Float.round x.(i)) > eps then
+          acc := V_integrality { var = i; value = x.(i) } :: !acc
+      | Continuous -> ())
+    t.vars;
+  Support.Vec.iteri
+    (fun row c ->
+      let lhs = eval_expr c.terms x in
+      let violated =
+        match c.rel with
+        | Le -> lhs > c.rhs +. eps
+        | Ge -> lhs < c.rhs -. eps
+        | Eq -> abs_float (lhs -. c.rhs) > eps
+      in
+      if violated then
+        acc := V_constr { row; name = c.cname; lhs; rel = c.rel; rhs = c.rhs } :: !acc)
+    t.constrs;
+  List.rev !acc
+
+let pp_violation t fmt = function
+  | V_constr { row; name; lhs; rel; rhs } ->
+    let rel_s = match rel with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
+    Format.fprintf fmt "row %d%s: lhs %g violates %s %g" row
+      (if name = "" then "" else Printf.sprintf " (%s)" name)
+      lhs rel_s rhs
+  | V_bound { var; value; lo; hi } ->
+    Format.fprintf fmt "var %s = %g outside [%g, %g]" (var_name t var) value lo hi
+  | V_integrality { var; value } ->
+    Format.fprintf fmt "var %s = %g is not integral" (var_name t var) value
 
 let pp_stats fmt t =
   let binaries =

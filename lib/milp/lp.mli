@@ -29,6 +29,8 @@ val add_constr : t -> ?name:string -> (float * int) list -> relation -> float ->
 
 val n_constrs : t -> int
 val constr : t -> int -> (float * int) list * relation * float
+val constr_name : t -> int -> string
+(** The name given at {!add_constr} ([""] if none). *)
 
 val set_objective : t -> maximize:bool -> (float * int) list -> unit
 val objective : t -> bool * (float * int) list
@@ -37,5 +39,21 @@ val eval_expr : (float * int) list -> float array -> float
 
 val feasible : t -> ?eps:float -> float array -> bool
 (** Whether an assignment satisfies all constraints and bounds. *)
+
+(** A certificate check failure: which row, bound or integrality
+    requirement an assignment violates, with the offending values. Used
+    by the lint layer to audit solver output instead of trusting it. *)
+type violation =
+  | V_constr of { row : int; name : string; lhs : float; rel : relation; rhs : float }
+  | V_bound of { var : int; value : float; lo : float; hi : float }
+  | V_integrality of { var : int; value : float }
+
+val violations : t -> ?eps:float -> float array -> violation list
+(** Every bound, integrality and constraint-row violation of an
+    assignment, in that order, each reported once. Unlike {!feasible}
+    this also checks integrality of [Binary]/[Integer] variables. Raises
+    [Invalid_argument] if the assignment length differs from {!n_vars}. *)
+
+val pp_violation : t -> Format.formatter -> violation -> unit
 
 val pp_stats : Format.formatter -> t -> unit

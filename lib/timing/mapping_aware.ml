@@ -1,3 +1,6 @@
-let build ?lut_delay ?lut_extra g ~net lg =
+let build_with_graph ?lut_delay ?lut_extra g ~net lg =
   let tg = Lut_map.build ?lut_delay ?lut_extra g ~net lg in
-  Generate.run tg g
+  (tg, Generate.run tg g)
+
+let build ?lut_delay ?lut_extra g ~net lg =
+  snd (build_with_graph ?lut_delay ?lut_extra g ~net lg)

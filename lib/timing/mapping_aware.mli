@@ -9,3 +9,14 @@ val build :
   net:Net.t ->
   Techmap.Lutgraph.t ->
   Model.t
+
+val build_with_graph :
+  ?lut_delay:float ->
+  ?lut_extra:(int -> float) ->
+  Dataflow.Graph.t ->
+  net:Net.t ->
+  Techmap.Lutgraph.t ->
+  Lut_map.t * Model.t
+(** Like {!build} but also returns the intermediate node-level timing
+    graph, so static checkers can audit the LUT-to-DFG mapping itself
+    (crossing nodes, fake-node accounting, acyclicity). *)

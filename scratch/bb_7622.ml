@@ -1,0 +1,71 @@
+(* Reproduce the integer-MILP brute-force mismatch at generator seed 7622. *)
+module Lp = Milp.Lp
+module Bb = Milp.Bb
+
+let () =
+  let seed = int_of_string Sys.argv.(1) in
+  let rng = Support.Rng.create seed in
+  let n = 2 + Support.Rng.int rng 2 in
+  let m = Lp.create "randint" in
+  let vars =
+    Array.init n (fun i -> Lp.add_var m ~kind:Lp.Integer ~hi:3. (Printf.sprintf "k%d" i))
+  in
+  for _ = 1 to 1 + Support.Rng.int rng 3 do
+    let terms =
+      Array.to_list (Array.map (fun v -> (float_of_int (Support.Rng.int rng 5) -. 2., v)) vars)
+    in
+    Lp.add_constr m terms
+      (if Support.Rng.bool rng then Lp.Le else Lp.Ge)
+      (float_of_int (Support.Rng.int rng 8) -. 2.)
+  done;
+  let obj =
+    Array.to_list (Array.map (fun v -> (float_of_int (Support.Rng.int rng 9) -. 4., v)) vars)
+  in
+  Lp.set_objective m ~maximize:true obj;
+  Printf.printf "n=%d constrs=%d\n" n (Lp.n_constrs m);
+  for i = 0 to Lp.n_constrs m - 1 do
+    let terms, rel, rhs = Lp.constr m i in
+    let rel_s = match rel with Lp.Le -> "<=" | Lp.Ge -> ">=" | Lp.Eq -> "=" in
+    Printf.printf "  row %d: %s %s %g\n" i
+      (String.concat " + " (List.map (fun (c, v) -> Printf.sprintf "%g*k%d" c v) terms))
+      rel_s rhs
+  done;
+  let obj_terms, _ = (fun () -> Lp.objective m) () |> fun (mx, t) -> (t, mx) in
+  Printf.printf "obj: max %s\n"
+    (String.concat " + " (List.map (fun (c, v) -> Printf.sprintf "%g*k%d" c v) obj_terms));
+  let best = ref neg_infinity in
+  let best_pt = Array.make n 0. in
+  let point = Array.make n 0. in
+  let rec enum i =
+    if i = n then begin
+      if Lp.feasible m point then
+        if Lp.eval_expr obj point > !best then begin
+          best := Lp.eval_expr obj point;
+          Array.blit point 0 best_pt 0 n
+        end
+    end
+    else
+      for v = 0 to 3 do
+        point.(i) <- float_of_int v;
+        enum (i + 1)
+      done
+  in
+  enum 0;
+  Printf.printf "brute force best = %g at [%s]\n" !best
+    (String.concat "; " (Array.to_list (Array.map string_of_float best_pt)));
+  (match Milp.Simplex.solve m with
+  | Milp.Simplex.Infeasible -> Printf.printf "simplex root: infeasible\n"
+  | Milp.Simplex.Unbounded -> Printf.printf "simplex root: unbounded\n"
+  | Milp.Simplex.Optimal { obj; x } ->
+    Printf.printf "simplex root: optimal %g at [%s]\n" obj
+      (String.concat "; " (Array.to_list (Array.map string_of_float x))));
+  (match Bb.solve m with
+  | Bb.Infeasible -> Printf.printf "bb: infeasible\n"
+  | Bb.Unbounded -> Printf.printf "bb: unbounded\n"
+  | Bb.Optimal { obj = got; x; _ } ->
+    Printf.printf "bb: optimal %g at [%s] feasible=%b\n" got
+      (String.concat "; " (Array.to_list (Array.map string_of_float x)))
+      (Lp.feasible m x));
+  List.iter
+    (fun v -> Format.printf "violation: %a@." (Lp.pp_violation m) v)
+    (match Bb.solve m with Bb.Optimal { x; _ } -> Lp.violations m x | _ -> [])

@@ -1,0 +1,52 @@
+(* Exhaustive sweep of the integer-MILP brute-force property over a seed
+   range (the QCheck test samples only 40 of these per run). *)
+module Lp = Milp.Lp
+module Bb = Milp.Bb
+
+let run seed =
+  let rng = Support.Rng.create seed in
+  let n = 2 + Support.Rng.int rng 2 in
+  let m = Lp.create "randint" in
+  let vars =
+    Array.init n (fun i -> Lp.add_var m ~kind:Lp.Integer ~hi:3. (Printf.sprintf "k%d" i))
+  in
+  for _ = 1 to 1 + Support.Rng.int rng 3 do
+    let terms =
+      Array.to_list (Array.map (fun v -> (float_of_int (Support.Rng.int rng 5) -. 2., v)) vars)
+    in
+    Lp.add_constr m terms
+      (if Support.Rng.bool rng then Lp.Le else Lp.Ge)
+      (float_of_int (Support.Rng.int rng 8) -. 2.)
+  done;
+  let obj =
+    Array.to_list (Array.map (fun v -> (float_of_int (Support.Rng.int rng 9) -. 4., v)) vars)
+  in
+  Lp.set_objective m ~maximize:true obj;
+  let best = ref neg_infinity in
+  let point = Array.make n 0. in
+  let rec enum i =
+    if i = n then begin
+      if Lp.feasible m point then best := max !best (Lp.eval_expr obj point)
+    end
+    else
+      for v = 0 to 3 do
+        point.(i) <- float_of_int v;
+        enum (i + 1)
+      done
+  in
+  enum 0;
+  match Bb.solve m with
+  | Bb.Infeasible -> !best = neg_infinity
+  | Bb.Unbounded -> false
+  | Bb.Optimal { obj = got; x; _ } -> Lp.feasible m x && abs_float (got -. !best) < 1e-5
+
+let () =
+  let lo = int_of_string Sys.argv.(1) and hi = int_of_string Sys.argv.(2) in
+  let bad = ref 0 in
+  for s = lo to hi do
+    if not (run s) then begin
+      incr bad;
+      Printf.printf "MISMATCH at seed %d\n%!" s
+    end
+  done;
+  Printf.printf "swept %d..%d: %d mismatches\n" lo hi !bad

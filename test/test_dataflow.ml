@@ -150,6 +150,46 @@ let test_shortest_path_self () =
   let g, fork, _, _, _ = Fixtures.fig2 () in
   check Alcotest.bool "self path empty" true (A.shortest_path g ~src:fork ~dst:fork = Some [])
 
+(* merge -> fork, then three parallel channels fork -> merge: exactly
+   three simple cycles, one per return channel *)
+let three_cycle_graph () =
+  let g = G.create "three-cycles" in
+  let m = G.add_unit g ~width:8 (K.Merge 3) in
+  let f = G.add_unit g ~width:8 (K.Fork 3) in
+  ignore (G.connect g ~src:m ~src_port:0 ~dst:f ~dst_port:0);
+  for p = 0 to 2 do
+    ignore (G.connect g ~src:f ~src_port:p ~dst:m ~dst_port:p)
+  done;
+  (match G.validate g with Ok () -> () | Error e -> failwith e);
+  (g, m)
+
+let test_simple_cycles_limit () =
+  let g, _ = three_cycle_graph () in
+  check Alcotest.int "all three without a cap" 3 (List.length (A.simple_cycles g));
+  (* the cap cuts enumeration off at exactly [limit] cycles *)
+  check Alcotest.int "capped at two" 2 (List.length (A.simple_cycles ~limit:2 g));
+  (* a cap equal to the cycle count is not an under-count *)
+  check Alcotest.int "cap hit exactly" 3 (List.length (A.simple_cycles ~limit:3 g))
+
+let test_simple_cycles_self_loop () =
+  let g = G.create "self" in
+  let entry = G.add_unit g ~width:0 K.Entry in
+  let sink1 = G.add_unit g K.Sink in
+  let f = G.add_unit g ~width:8 (K.Fork 2) in
+  let sink2 = G.add_unit g K.Sink in
+  ignore (G.connect g ~src:entry ~src_port:0 ~dst:sink1 ~dst_port:0);
+  let self = G.connect g ~src:f ~src_port:0 ~dst:f ~dst_port:0 in
+  ignore (G.connect g ~src:f ~src_port:1 ~dst:sink2 ~dst_port:0);
+  check
+    Alcotest.(list (list int))
+    "the self-loop is a one-channel cycle" [ [ self ] ] (A.simple_cycles g)
+
+let test_shortest_path_self_on_cycle () =
+  (* the [src = dst -> Some []] contract holds even when a non-trivial
+     cycle through the unit exists *)
+  let g, m = three_cycle_graph () in
+  check Alcotest.bool "Some [] on a cyclic unit" true (A.shortest_path g ~src:m ~dst:m = Some [])
+
 let test_topo_order () =
   let g, _, _, _, _ = Fixtures.fig2 () in
   let order = A.topo_order g in
@@ -232,6 +272,9 @@ let suite =
     ("simple cycles", `Quick, test_simple_cycles);
     ("shortest path", `Quick, test_shortest_path);
     ("shortest path self", `Quick, test_shortest_path_self);
+    ("simple cycles limit cap", `Quick, test_simple_cycles_limit);
+    ("simple cycles self loop", `Quick, test_simple_cycles_self_loop);
+    ("shortest path self on cycle", `Quick, test_shortest_path_self_on_cycle);
     ("topo order", `Quick, test_topo_order);
     ("reachable", `Quick, test_reachable);
     qtest prop_topo_random_dag;

@@ -12,6 +12,7 @@ let () =
       ("buffering", Test_buffering.suite);
       ("placeroute", Test_placeroute.suite);
       ("core", Test_core.suite);
+      ("lint", Test_lint.suite);
       ("endtoend", Test_endtoend.suite);
       ("regressions", Test_regressions.suite);
       ("extensions", Test_extensions.suite);

@@ -292,6 +292,46 @@ let test_bb_time_limit () =
     check Alcotest.bool "not proved" false proved_optimal
   | _ -> Alcotest.fail "expected incumbent"
 
+let test_bb_rebranch_same_var () =
+  (* QCheck counterexample (generator seed 7622): branching the same
+     integer variable twice down one path must intersect the box fixes,
+     not let the older, wider fix overwrite the newer one — the overwrite
+     made the node re-branch forever and exhaust the budget with no
+     incumbent, reporting a feasible model infeasible *)
+  let m = Lp.create "rebranch" in
+  let k0 = Lp.add_var m ~kind:Lp.Integer ~hi:3. "k0" in
+  let k1 = Lp.add_var m ~kind:Lp.Integer ~hi:3. "k1" in
+  Lp.add_constr m [ (2., k0); (2., k1) ] Lp.Ge 1.;
+  Lp.add_constr m [ (2., k0); (-2., k1) ] Lp.Le 1.;
+  Lp.set_objective m ~maximize:true [ (3., k0); (-4., k1) ];
+  match Bb.solve m with
+  | Bb.Optimal { obj; x; proved_optimal; _ } ->
+    check float_t "optimum" (-1.) obj;
+    check float_t "k0" 1. x.(k0);
+    check float_t "k1" 1. x.(k1);
+    check Alcotest.bool "proved" true proved_optimal
+  | _ -> Alcotest.fail "expected optimal -1 at (1, 1)"
+
+let test_lp_violations () =
+  let m = Lp.create "cert" in
+  let x = Lp.add_var m ~hi:1. ~kind:Lp.Binary "x" in
+  let y = Lp.add_var m ~hi:10. "y" in
+  Lp.add_constr m ~name:"cap" [ (1., x); (1., y) ] Lp.Le 1.;
+  check Alcotest.int "clean assignment" 0 (List.length (Lp.violations m [| 1.; 0. |]));
+  (match Lp.violations m [| 1.; 3. |] with
+  | [ Lp.V_constr { row = 0; name = "cap"; lhs; _ } ] -> check float_t "lhs" 4. lhs
+  | _ -> Alcotest.fail "expected one row violation");
+  (match Lp.violations m [| 0.5; 0. |] with
+  | [ Lp.V_integrality { var; value } ] ->
+    check Alcotest.int "var" x (check Alcotest.bool "frac" true (value = 0.5); var)
+  | _ -> Alcotest.fail "expected one integrality violation");
+  (match Lp.violations m [| 1.; -2. |] with
+  | [ Lp.V_bound { var; _ } ] -> check Alcotest.int "y out of bounds" y var
+  | _ -> Alcotest.fail "expected one bound violation");
+  match Lp.violations m [| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on length mismatch"
+
 let test_lp_feasible_check () =
   let m = Lp.create "feas" in
   let x = Lp.add_var m ~hi:2. "x" in
@@ -318,5 +358,7 @@ let suite =
     qtest prop_bb_matches_bruteforce;
     qtest prop_bb_integers_bruteforce;
     ("bb initial incumbent", `Quick, test_bb_initial_incumbent);
+    ("bb re-branch same variable", `Quick, test_bb_rebranch_same_var);
+    ("lp violations certificate", `Quick, test_lp_violations);
     ("bb time limit", `Quick, test_bb_time_limit);
   ]
