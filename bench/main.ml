@@ -13,6 +13,18 @@
                                                  run: it re-runs both flows several times)
      dune exec bench/main.exe -- micro        -- B1 (Bechamel stage timings)
 
+   Options (before or after the targets):
+
+     -j N / --jobs N     run independent flow tasks on N worker domains
+                         (default: $REPRO_JOBS, else 1); any width
+                         produces byte-identical tables — task results
+                         are returned in submission order
+     --kernels a,b,c     restrict table1/figure5 to a kernel subset
+                         (CI smoke runs use a two-kernel subset)
+
+   Timing lines and the run summary go to stderr so that stdout (the
+   tables, the CSV) is byte-identical whatever the jobs width.
+
    Absolute numbers come from the OCaml substrate (simulated synthesis,
    placement and routing), so they differ from the paper's Stratix-IV
    runs; the comparison SHAPE — who wins, by roughly what factor — is the
@@ -25,6 +37,12 @@ let banner title =
   Format.fprintf fmt "%s@\n" title;
   Format.fprintf fmt "============================================================@\n@."
 
+(* ------------------------------------------------------------------ *)
+(* run configuration (set by the argument parser below) *)
+
+let jobs = ref (Support.Pool.default_jobs ())
+let kernel_subset : string list option ref = ref None
+
 (* rows are computed once and shared between table1 and figure5 *)
 let rows_cache : Core.Experiment.row list option ref = ref None
 
@@ -32,15 +50,39 @@ let rows () =
   match !rows_cache with
   | Some r -> r
   | None ->
-    let r =
-      List.map
-        (fun k ->
-          Printf.eprintf "[bench] running %s...\n%!" k.Hls.Kernels.name;
-          Core.Experiment.run_kernel k)
-        Hls.Kernels.all
-    in
+    let names = !kernel_subset in
+    Printf.eprintf "[bench] running %d kernels x 2 flavors, jobs=%d\n%!"
+      (match names with Some ns -> List.length ns | None -> List.length Hls.Kernels.all)
+      !jobs;
+    let r, timings, wall = Core.Experiment.run_all_timed ~jobs:!jobs ?names () in
+    List.iter
+      (fun t ->
+        Printf.eprintf "[bench]   %-15s %-9s %8.2fs\n%!" t.Core.Experiment.t_bench
+          t.Core.Experiment.t_flavor t.Core.Experiment.t_seconds)
+      timings;
+    let seq = List.fold_left (fun a t -> a +. t.Core.Experiment.t_seconds) 0. timings in
+    Printf.eprintf
+      "[bench] wall-clock %.2fs at jobs=%d; sequential-equivalent (sum of tasks) %.2fs; speedup %.2fx\n%!"
+      wall !jobs seq
+      (if wall > 0. then seq /. wall else 1.);
     rows_cache := Some r;
     r
+
+(* Ablation drivers fan their independent flow runs through the same
+   pool: tasks are submitted up front and awaited in submission order, so
+   the printed tables never depend on the jobs width. *)
+let pooled tasks =
+  Support.Pool.run ~jobs:!jobs (fun pool ->
+      List.map (Support.Pool.submit pool) tasks |> List.map Support.Pool.await)
+
+(* Every ablation submits two tasks per row label; [print_pairs] walks the
+   awaited results two at a time alongside the labels. *)
+let rec print_pairs print_row labels results =
+  match (labels, results) with
+  | label :: labels, a :: b :: results ->
+    print_row label a b;
+    print_pairs print_row labels results
+  | _ -> ()
 
 let table1 () =
   banner "Table I: iterative mapping-aware (Iter.) vs mapping-agnostic (Prev.)";
@@ -66,24 +108,32 @@ let figure5 () =
 let ablation_penalty () =
   banner "Ablation A1: Eq. 3 penalty term on/off (iterative flow, subset)";
   let subset = [ "gsum"; "gsumif"; "matrix" ] in
+  let no_penalty =
+    {
+      Core.Flow.default_config with
+      Core.Flow.milp =
+        { Core.Flow.default_config.Core.Flow.milp with Buffering.Formulation.use_penalty = false };
+    }
+  in
+  let results =
+    pooled
+      (List.concat_map
+         (fun name ->
+           let k = Hls.Kernels.by_name name in
+           [
+             (fun () -> fst (Core.Experiment.run_flow ~flavor:`Iterative k));
+             (fun () -> fst (Core.Experiment.run_flow ~config:no_penalty ~flavor:`Iterative k));
+           ])
+         subset)
+  in
   Format.fprintf fmt "%-12s | %18s | %18s@\n" "kernel" "with penalty" "without penalty";
   Format.fprintf fmt "%-12s | %8s %9s | %8s %9s@\n" "" "buffers" "levels" "buffers" "levels";
-  List.iter
-    (fun name ->
-      let k = Hls.Kernels.by_name name in
-      let with_pen, _ = Core.Experiment.run_flow ~flavor:`Iterative k in
-      let config =
-        {
-          Core.Flow.default_config with
-          Core.Flow.milp =
-            { Core.Flow.default_config.Core.Flow.milp with Buffering.Formulation.use_penalty = false };
-        }
-      in
-      let without, _ = Core.Experiment.run_flow ~config ~flavor:`Iterative k in
+  print_pairs
+    (fun name (with_pen : _) (without : _) ->
       Format.fprintf fmt "%-12s | %8d %9d | %8d %9d@\n" name with_pen.Core.Experiment.buffers
         with_pen.Core.Experiment.levels without.Core.Experiment.buffers
         without.Core.Experiment.levels)
-    subset;
+    subset results;
   Format.fprintf fmt
     "(the penalty steers buffers away from channels with shared logic;@\n\
     \ without it the same period target is met with more disruptive placements)@.";
@@ -95,18 +145,25 @@ let ablation_penalty () =
 let ablation_iterations () =
   banner "Ablation A2: one-shot mapping-aware vs full iterative (subset)";
   let subset = [ "gsum"; "gsumif"; "matrix" ] in
+  let one_cfg = { Core.Flow.default_config with Core.Flow.max_iterations = 1 } in
+  let results =
+    pooled
+      (List.concat_map
+         (fun name ->
+           let k = Hls.Kernels.by_name name in
+           [
+             (fun () -> fst (Core.Experiment.run_flow ~config:one_cfg ~flavor:`Iterative k));
+             (fun () -> fst (Core.Experiment.run_flow ~flavor:`Iterative k));
+           ])
+         subset)
+  in
   Format.fprintf fmt "%-12s | %22s | %22s@\n" "kernel" "max_iterations = 1" "full iterative";
   Format.fprintf fmt "%-12s | %9s %12s | %9s %12s@\n" "" "levels" "target met" "levels" "target met";
-  List.iter
-    (fun name ->
-      let k = Hls.Kernels.by_name name in
-      let one_cfg = { Core.Flow.default_config with Core.Flow.max_iterations = 1 } in
-      let one, _ = Core.Experiment.run_flow ~config:one_cfg ~flavor:`Iterative k in
-      let full, _ = Core.Experiment.run_flow ~flavor:`Iterative k in
+  print_pairs
+    (fun name (one : _) (full : _) ->
       Format.fprintf fmt "%-12s | %9d %12b | %9d %12b@\n" name one.Core.Experiment.levels
-        one.Core.Experiment.met_target full.Core.Experiment.levels
-        full.Core.Experiment.met_target)
-    subset;
+        one.Core.Experiment.met_target full.Core.Experiment.levels full.Core.Experiment.met_target)
+    subset results;
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
@@ -115,19 +172,27 @@ let ablation_iterations () =
 let ablation_routing () =
   banner "Ablation A3: routing-aware timing model on/off (subset)";
   let subset = [ "gsum"; "gsumif" ] in
+  let aware_cfg = { Core.Flow.default_config with Core.Flow.routing_aware = true } in
+  let results =
+    pooled
+      (List.concat_map
+         (fun name ->
+           let k = Hls.Kernels.by_name name in
+           [
+             (fun () -> fst (Core.Experiment.run_flow ~flavor:`Iterative k));
+             (fun () -> fst (Core.Experiment.run_flow ~config:aware_cfg ~flavor:`Iterative k));
+           ])
+         subset)
+  in
   Format.fprintf fmt "%-12s | %24s | %24s@\n" "kernel" "mapping-aware" "+ routing aware";
   Format.fprintf fmt "%-12s | %9s %6s %7s | %9s %6s %7s@\n" "" "cp(ns)" "bufs" "levels" "cp(ns)"
     "bufs" "levels";
-  List.iter
-    (fun name ->
-      let k = Hls.Kernels.by_name name in
-      let plain, _ = Core.Experiment.run_flow ~flavor:`Iterative k in
-      let config = { Core.Flow.default_config with Core.Flow.routing_aware = true } in
-      let aware, _ = Core.Experiment.run_flow ~config ~flavor:`Iterative k in
-      Format.fprintf fmt "%-12s | %9.2f %6d %7d | %9.2f %6d %7d@\n" name
-        plain.Core.Experiment.cp plain.Core.Experiment.buffers plain.Core.Experiment.levels
-        aware.Core.Experiment.cp aware.Core.Experiment.buffers aware.Core.Experiment.levels)
-    subset;
+  print_pairs
+    (fun name (plain : _) (aware : _) ->
+      Format.fprintf fmt "%-12s | %9.2f %6d %7d | %9.2f %6d %7d@\n" name plain.Core.Experiment.cp
+        plain.Core.Experiment.buffers plain.Core.Experiment.levels aware.Core.Experiment.cp
+        aware.Core.Experiment.buffers aware.Core.Experiment.levels)
+    subset results;
   Format.fprintf fmt
     "(wire-delay surcharges make the model stricter: more buffers, achieved CP closer to target)@.";
   Format.pp_print_flush fmt ()
@@ -138,17 +203,25 @@ let ablation_routing () =
 let ablation_slack () =
   banner "Ablation A4: slack matching on/off (subset)";
   let subset = [ "matrix"; "mvt" ] in
+  let sized_cfg = { Core.Flow.default_config with Core.Flow.slack_match = true } in
+  let results =
+    pooled
+      (List.concat_map
+         (fun name ->
+           let k = Hls.Kernels.by_name name in
+           [
+             (fun () -> fst (Core.Experiment.run_flow ~flavor:`Iterative k));
+             (fun () -> fst (Core.Experiment.run_flow ~config:sized_cfg ~flavor:`Iterative k));
+           ])
+         subset)
+  in
   Format.fprintf fmt "%-12s | %14s | %14s@\n" "kernel" "no sizing" "slack matched";
   Format.fprintf fmt "%-12s | %14s | %14s@\n" "" "cycles" "cycles";
-  List.iter
-    (fun name ->
-      let k = Hls.Kernels.by_name name in
-      let plain, _ = Core.Experiment.run_flow ~flavor:`Iterative k in
-      let config = { Core.Flow.default_config with Core.Flow.slack_match = true } in
-      let sized, _ = Core.Experiment.run_flow ~config ~flavor:`Iterative k in
+  print_pairs
+    (fun name (plain : _) (sized : _) ->
       Format.fprintf fmt "%-12s | %14d | %14d@\n" name plain.Core.Experiment.cycles
         sized.Core.Experiment.cycles)
-    subset;
+    subset results;
   Format.fprintf fmt "(transparent capacity on shallow reconvergent paths absorbs stalls)@.";
   Format.pp_print_flush fmt ()
 
@@ -158,17 +231,25 @@ let ablation_slack () =
 let ablation_balance () =
   banner "Ablation A5: AND re-association (balance) before mapping (subset)";
   let subset = [ "gsum"; "matrix" ] in
+  let balance_cfg = { Core.Flow.default_config with Core.Flow.balance = true } in
+  let results =
+    pooled
+      (List.concat_map
+         (fun name ->
+           let k = Hls.Kernels.by_name name in
+           [
+             (fun () -> fst (Core.Experiment.run_flow ~flavor:`Iterative k));
+             (fun () -> fst (Core.Experiment.run_flow ~config:balance_cfg ~flavor:`Iterative k));
+           ])
+         subset)
+  in
   Format.fprintf fmt "%-12s | %20s | %20s@\n" "kernel" "if -K 6 only" "balance; if -K 6";
   Format.fprintf fmt "%-12s | %9s %10s | %9s %10s@\n" "" "levels" "luts" "levels" "luts";
-  List.iter
-    (fun name ->
-      let k = Hls.Kernels.by_name name in
-      let plain, _ = Core.Experiment.run_flow ~flavor:`Iterative k in
-      let config = { Core.Flow.default_config with Core.Flow.balance = true } in
-      let balanced, _ = Core.Experiment.run_flow ~config ~flavor:`Iterative k in
+  print_pairs
+    (fun name (plain : _) (balanced : _) ->
       Format.fprintf fmt "%-12s | %9d %10d | %9d %10d@\n" name plain.Core.Experiment.levels
         plain.Core.Experiment.luts balanced.Core.Experiment.levels balanced.Core.Experiment.luts)
-    subset;
+    subset results;
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
@@ -178,27 +259,33 @@ let ablation_width () =
   banner "Ablation A6: datapath width 8 vs 16 bits (iterative flow)";
   (* one kernel: the 16-bit MILP instances are several times larger *)
   let subset = [ "gsum" ] in
+  let run k width =
+    let g = Hls.Kernels.graph ~width k in
+    let outcome = Core.Flow.iterative g in
+    let net = outcome.Core.Flow.net and lg = outcome.Core.Flow.lutgraph in
+    let pr = Placeroute.Sta.analyze ~seed:7 net lg in
+    (* functional check at the matching width *)
+    let sim = Sim.Elastic.run ~memories:(k.Hls.Kernels.mems ()) outcome.Core.Flow.graph in
+    assert (sim.Sim.Elastic.exit_value = Some (Hls.Kernels.reference ~width k));
+    pr
+  in
+  let results =
+    pooled
+      (List.concat_map
+         (fun name ->
+           let k = Hls.Kernels.by_name name in
+           [ (fun () -> run k 8); (fun () -> run k 16) ])
+         subset)
+  in
   Format.fprintf fmt "%-12s | %26s | %26s@\n" "kernel" "8-bit" "16-bit";
   Format.fprintf fmt "%-12s | %7s %7s %9s | %7s %7s %9s@\n" "" "luts" "ffs" "cp(ns)" "luts" "ffs"
     "cp(ns)";
-  List.iter
-    (fun name ->
-      let k = Hls.Kernels.by_name name in
-      let run width =
-        let g = Hls.Kernels.graph ~width k in
-        let outcome = Core.Flow.iterative g in
-        let net, lg = Core.Flow.synth_map Core.Flow.default_config outcome.Core.Flow.graph in
-        let pr = Placeroute.Sta.analyze ~seed:7 net lg in
-        (* functional check at the matching width *)
-        let sim = Sim.Elastic.run ~memories:(k.Hls.Kernels.mems ()) outcome.Core.Flow.graph in
-        assert (sim.Sim.Elastic.exit_value = Some (Hls.Kernels.reference ~width k));
-        pr
-      in
-      let w8 = run 8 and w16 = run 16 in
-      Format.fprintf fmt "%-12s | %7d %7d %9.2f | %7d %7d %9.2f@\n" name
-        w8.Placeroute.Sta.n_luts w8.Placeroute.Sta.n_ffs w8.Placeroute.Sta.cp
-        w16.Placeroute.Sta.n_luts w16.Placeroute.Sta.n_ffs w16.Placeroute.Sta.cp)
-    subset;
+  print_pairs
+    (fun name (w8 : _) (w16 : _) ->
+      Format.fprintf fmt "%-12s | %7d %7d %9.2f | %7d %7d %9.2f@\n" name w8.Placeroute.Sta.n_luts
+        w8.Placeroute.Sta.n_ffs w8.Placeroute.Sta.cp w16.Placeroute.Sta.n_luts
+        w16.Placeroute.Sta.n_ffs w16.Placeroute.Sta.cp)
+    subset results;
   Format.fprintf fmt
     "(resources scale with the datapath; levels and CP grow with the wider carry chains,@\n\
     \ which is why the reproduction runs 8-bit by default)@.";
@@ -211,26 +298,36 @@ let ablation_width () =
 let sweep () =
   banner "Target sweep (E5): achieved levels under varying level targets (gsumif)";
   let k = Hls.Kernels.by_name "gsumif" in
+  let targets = [ 5; 6; 7; 8 ] in
+  let config_for target =
+    {
+      Core.Flow.default_config with
+      Core.Flow.target_levels = target;
+      milp =
+        {
+          Core.Flow.default_config.Core.Flow.milp with
+          Buffering.Formulation.cp_target = float_of_int target *. 0.7;
+        };
+    }
+  in
+  let results =
+    pooled
+      (List.concat_map
+         (fun target ->
+           let config = config_for target in
+           [
+             (fun () -> fst (Core.Experiment.run_flow ~config ~flavor:`Baseline k));
+             (fun () -> fst (Core.Experiment.run_flow ~config ~flavor:`Iterative k));
+           ])
+         targets)
+  in
   Format.fprintf fmt "%-8s | %20s | %20s@\n" "target" "baseline" "iterative";
   Format.fprintf fmt "%-8s | %9s %10s | %9s %10s@\n" "levels" "achieved" "cp(ns)" "achieved" "cp(ns)";
-  List.iter
-    (fun target ->
-      let config =
-        {
-          Core.Flow.default_config with
-          Core.Flow.target_levels = target;
-          milp =
-            {
-              Core.Flow.default_config.Core.Flow.milp with
-              Buffering.Formulation.cp_target = float_of_int target *. 0.7;
-            };
-        }
-      in
-      let prev, _ = Core.Experiment.run_flow ~config ~flavor:`Baseline k in
-      let iter, _ = Core.Experiment.run_flow ~config ~flavor:`Iterative k in
+  print_pairs
+    (fun target (prev : _) (iter : _) ->
       Format.fprintf fmt "%-8d | %9d %10.2f | %9d %10.2f@\n" target prev.Core.Experiment.levels
         prev.Core.Experiment.cp iter.Core.Experiment.levels iter.Core.Experiment.cp)
-    [ 5; 6; 7; 8 ];
+    targets results;
   Format.fprintf fmt
     "(the iterative flow tracks the target; the baseline's levels do not respond to it)@.";
   Format.pp_print_flush fmt ()
@@ -246,12 +343,15 @@ let micro () =
   let _ = Core.Flow.seed_back_edges g0 in
   let net = Elaborate.run g0 in
   let synth = Techmap.Synth.run net in
-  let lg = Techmap.Mapper.run synth in
+  (* map with the flow's configured LUT size: the stage timing must
+     measure the configuration the experiments actually run *)
+  let lut_k = Core.Flow.default_config.Core.Flow.lut_k in
+  let lg = Techmap.Mapper.run ~k:lut_k synth in
   let tests =
     [
       Test.make ~name:"elaborate" (Staged.stage (fun () -> ignore (Elaborate.run g0)));
       Test.make ~name:"synthesize-aig" (Staged.stage (fun () -> ignore (Techmap.Synth.run net)));
-      Test.make ~name:"lut-map" (Staged.stage (fun () -> ignore (Techmap.Mapper.run synth)));
+      Test.make ~name:"lut-map" (Staged.stage (fun () -> ignore (Techmap.Mapper.run ~k:lut_k synth)));
       Test.make ~name:"timing-model"
         (Staged.stage (fun () -> ignore (Timing.Mapping_aware.build g0 ~net lg)));
       Test.make ~name:"cfdfc-extract"
@@ -282,9 +382,52 @@ let micro () =
     tests;
   Format.pp_print_flush fmt ()
 
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [-j N|--jobs N] [--kernels a,b,c] [table1|figure5|ablation-*|sweep|micro]*";
+  exit 1
+
+let set_kernels spec =
+  let names = String.split_on_char ',' spec |> List.filter (( <> ) "") in
+  let known = List.map (fun k -> k.Hls.Kernels.name) Hls.Kernels.all in
+  (match List.filter (fun n -> not (List.mem n known)) names with
+   | [] -> ()
+   | bad ->
+     Printf.eprintf "unknown kernel%s: %s (known: %s)\n"
+       (if List.length bad > 1 then "s" else "")
+       (String.concat ", " bad) (String.concat ", " known);
+     exit 1);
+  kernel_subset := Some names
+
+let rec parse_args targets = function
+  | [] -> List.rev targets
+  | ("-j" | "--jobs") :: n :: rest -> (
+    match int_of_string_opt n with
+    | Some j when j >= 1 ->
+      jobs := j;
+      parse_args targets rest
+    | _ -> usage ())
+  | ("-j" | "--jobs") :: [] -> usage ()
+  | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+    match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+    | Some j when j >= 1 ->
+      jobs := j;
+      parse_args targets rest
+    | _ -> usage ())
+  | "--kernels" :: names :: rest ->
+    set_kernels names;
+    parse_args targets rest
+  | "--kernels" :: [] -> usage ()
+  | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--kernels=" ->
+    set_kernels (String.sub arg 10 (String.length arg - 10));
+    parse_args targets rest
+  | target :: rest -> parse_args (target :: targets) rest
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  let targets = parse_args [] (Array.to_list Sys.argv |> List.tl) in
+  match targets with
   | [] ->
     table1 ();
     figure5 ();
@@ -310,4 +453,4 @@ let () =
         | other ->
           Printf.eprintf "unknown bench target %S\n" other;
           exit 1)
-      args
+      targets

@@ -12,6 +12,22 @@ let kernels_arg =
   let doc = "Benchmark kernel name (see `regulate list`)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for multi-kernel runs (default: the $(b,REPRO_JOBS) environment variable, \
+     else 1). Results and output order are identical at any width."
+  in
+  let width =
+    let parse s =
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> Ok j
+      | Some _ -> Error (`Msg "jobs must be >= 1")
+      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt width (Support.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -233,7 +249,7 @@ let lint_cmd =
     Arg.(value & opt int 6 & info [ "levels" ] ~docv:"N" ~doc:"Target logic levels (default 6).")
   in
   let rules = Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalogue and exit.") in
-  let run names json fail_on_warning levels rules =
+  let run names json fail_on_warning levels rules jobs =
     if rules then Format.printf "%a" Lint.Engine.pp_catalogue ()
     else begin
       let ks =
@@ -241,14 +257,24 @@ let lint_cmd =
         | [] -> Hls.Kernels.all
         | names -> List.map Hls.Kernels.by_name names
       in
-      (* lint and report kernel by kernel: big-kernel MILP solves can
-         take minutes, so the output streams *)
+      (* at --jobs 1 each kernel is linted as its report is printed, so
+         big-kernel MILP solves still stream; wider pools fan the lint
+         runs out and print in submission order, identical output *)
+      let fold_reports f init =
+        if jobs <= 1 then
+          List.fold_left (fun acc k -> f acc k.Hls.Kernels.name (lint_kernel ~levels k)) init ks
+        else
+          Support.Pool.run ~jobs (fun pool ->
+              ks
+              |> List.map (fun k ->
+                     ( k.Hls.Kernels.name,
+                       Support.Pool.submit pool (fun () -> lint_kernel ~levels k) ))
+              |> List.fold_left (fun acc (name, fut) -> f acc name (Support.Pool.await fut)) init)
+      in
       if json then print_string "[";
       let failed =
-        List.fold_left
-          (fun (failed, i) k ->
-            let name = k.Hls.Kernels.name in
-            let r = lint_kernel ~levels k in
+        fold_reports
+          (fun (failed, i) name r ->
             if json then begin
               if i > 0 then print_string ",";
               print_string (Lint.Engine.report_to_json ~label:name r)
@@ -260,7 +286,7 @@ let lint_cmd =
               || (not (Lint.Engine.ok r))
               || (fail_on_warning && not (Lint.Engine.clean r)),
               i + 1 ))
-          (false, 0) ks
+          (false, 0)
         |> fst
       in
       if json then print_endline "]";
@@ -270,7 +296,7 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically verify kernels: DFG structure, netlist, LUT mapping, MILP certificate.")
-    Term.(const run $ names $ json $ fail_on_warning $ levels $ rules)
+    Term.(const run $ names $ json $ fail_on_warning $ levels $ rules $ jobs_arg)
 
 (* ---- compare ---- *)
 
@@ -278,9 +304,9 @@ let compare_cmd =
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc:"Kernels (default: all nine).")
   in
-  let run names =
+  let run names jobs =
     let names = if names = [] then None else Some names in
-    let rows = Core.Experiment.run_all ?names () in
+    let rows = Core.Experiment.run_all_parallel ~jobs ?names () in
     Core.Report.table1 Format.std_formatter rows;
     Format.print_newline ();
     Core.Report.figure5 Format.std_formatter rows;
@@ -289,7 +315,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Reproduce Table I / Figure 5 for the given kernels.")
-    Term.(const run $ names)
+    Term.(const run $ names $ jobs_arg)
 
 let () =
   let doc = "Mapping-aware iterative buffer placement for dataflow circuits (DAC'23 reproduction)." in

@@ -19,9 +19,11 @@ type row = {
   iter : metrics;
 }
 
-let measure config (outcome : Flow.outcome) kernel =
+let measure (outcome : Flow.outcome) kernel =
   let g = outcome.Flow.graph in
-  let net, lg = Flow.synth_map config g in
+  (* the flow already synthesised its final circuit; measuring from the
+     outcome's netlist avoids a full re-synthesis per kernel run *)
+  let net = outcome.Flow.net and lg = outcome.Flow.lutgraph in
   let pr = Placeroute.Sta.analyze ~seed:7 net lg in
   let mems = kernel.Hls.Kernels.mems () in
   let sim = Sim.Elastic.run ~memories:mems g in
@@ -49,17 +51,63 @@ let run_flow ?(config = Flow.default_config) ~flavor kernel =
     | `Baseline -> Flow.baseline ~config g
     | `Iterative -> Flow.iterative ~config g
   in
-  (measure config outcome kernel, outcome)
+  (measure outcome kernel, outcome)
 
 let run_kernel ?(config = Flow.default_config) kernel =
   let prev, _ = run_flow ~config ~flavor:`Baseline kernel in
   let iter, _ = run_flow ~config ~flavor:`Iterative kernel in
   { bench = kernel.Hls.Kernels.name; prev; iter }
 
-let run_all ?(config = Flow.default_config) ?names () =
-  let kernels =
-    match names with
-    | None -> Hls.Kernels.all
-    | Some ns -> List.map Hls.Kernels.by_name ns
+let resolve_kernels ?names ?kernels () =
+  match (kernels, names) with
+  | Some ks, _ -> ks
+  | None, Some ns -> List.map Hls.Kernels.by_name ns
+  | None, None -> Hls.Kernels.all
+
+let run_all ?(config = Flow.default_config) ?names ?kernels () =
+  List.map (run_kernel ~config) (resolve_kernels ?names ?kernels ())
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel engine: one task per kernel x flavor. Each task
+   compiles its own kernel graph (nothing mutable is shared across
+   domains; placement RNGs are created per run from fixed seeds), so a
+   task's result is independent of scheduling and [jobs] only changes
+   wall-clock, never a number. *)
+
+type task_timing = { t_bench : string; t_flavor : string; t_seconds : float }
+
+let run_all_timed ?(config = Flow.default_config) ?jobs ?names ?kernels () =
+  let jobs = match jobs with Some j -> j | None -> Support.Pool.default_jobs () in
+  let ks = resolve_kernels ?names ?kernels () in
+  (* rule registration runs at module initialisation, on the main domain;
+     forcing the catalogue here keeps that true even if initialisation
+     order ever changes, so no worker races to register rules *)
+  ignore (Lint.Engine.catalogue ());
+  let wall0 = Unix.gettimeofday () in
+  let results =
+    Support.Pool.run ~jobs (fun pool ->
+        let submit k flavor =
+          Support.Pool.submit pool (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let metrics, _ = run_flow ~config ~flavor k in
+              (metrics, Unix.gettimeofday () -. t0))
+        in
+        ks
+        |> List.map (fun k -> (k, submit k `Baseline, submit k `Iterative))
+        |> List.map (fun (k, fb, fi) ->
+               let name = k.Hls.Kernels.name in
+               let prev, t_prev = Support.Pool.await fb in
+               let iter, t_iter = Support.Pool.await fi in
+               ( { bench = name; prev; iter },
+                 [
+                   { t_bench = name; t_flavor = "baseline"; t_seconds = t_prev };
+                   { t_bench = name; t_flavor = "iterative"; t_seconds = t_iter };
+                 ] )))
   in
-  List.map (run_kernel ~config) kernels
+  let rows = List.map fst results in
+  let timings = List.concat_map snd results in
+  (rows, timings, Unix.gettimeofday () -. wall0)
+
+let run_all_parallel ?config ?jobs ?names ?kernels () =
+  let rows, _, _ = run_all_timed ?config ?jobs ?names ?kernels () in
+  rows

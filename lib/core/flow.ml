@@ -40,11 +40,14 @@ type iteration = {
 
 type outcome = {
   graph : G.t;
+  net : Net.t;
+  lutgraph : Techmap.Lutgraph.t;
   iterations : iteration list;
   met_target : bool;
   final_levels : int;
   total_buffers : int;
   lint : Lint.Engine.report;
+  lint_stages : string list;
 }
 
 let opaque = Some { G.transparent = false; slots = 2 }
@@ -94,23 +97,32 @@ let sparse_min_penalty_subset g (model : Timing.Model.t) proposed =
    flow is audited right after it produced its artefact, so a malformed
    graph or an unsound mapping is reported at its source instead of as a
    wrong frequency number three stages later. *)
-let run_gate config collected ~stage check =
-  if config.lint_gates then
-    collected := Lint.Engine.merge !collected (Lint.Engine.gate ~stage (check ()))
+type audit = {
+  mutable a_report : Lint.Engine.report;
+  mutable a_stages : string list;  (* reverse order of execution *)
+}
+
+let new_audit () = { a_report = Lint.Engine.empty; a_stages = [] }
+
+let run_gate config audit ~stage check =
+  if config.lint_gates then begin
+    audit.a_report <- Lint.Engine.merge audit.a_report (Lint.Engine.gate ~stage (check ()));
+    audit.a_stages <- stage :: audit.a_stages
+  end
 
 let iterative ?(config = default_config) input =
   let g0 = G.copy input in
   G.clear_buffers g0;
   let seeded = seed_back_edges g0 in
   ignore seeded;
-  let lint_acc = ref Lint.Engine.empty in
-  run_gate config lint_acc ~stage:"dfg" (fun () -> Lint.Engine.check_graph g0);
+  let audit = new_audit () in
+  run_gate config audit ~stage:"dfg" (fun () -> Lint.Engine.check_graph g0);
   let iterations = ref [] in
   let rec iterate it fixed =
     (* the working circuit for this iteration: base + fixed buffers *)
     let g = apply_buffers g0 fixed in
     let net, lg = synth_map config g in
-    run_gate config lint_acc ~stage:"netlist" (fun () -> Lint.Engine.check_netlist g net);
+    run_gate config audit ~stage:"netlist" (fun () -> Lint.Engine.check_netlist g net);
     (* optional routing awareness (§VI future work): fold estimated wire
        delays from a quick placement into each LUT's delay *)
     let lut_extra =
@@ -137,18 +149,19 @@ let iterative ?(config = default_config) input =
     let tg, model =
       Timing.Mapping_aware.build_with_graph ~lut_delay:config.level_delay ~lut_extra g ~net lg
     in
-    run_gate config lint_acc ~stage:"lut-mapping" (fun () ->
+    run_gate config audit ~stage:"lut-mapping" (fun () ->
         Lint.Engine.check_mapping g lg tg model);
     let cfdfcs = Buffering.Cfdfc.extract g in
     match Buffering.Formulation.solve config.milp g model cfdfcs with
     | Error msg -> failwith ("Flow.iterative: " ^ msg)
     | Ok placement ->
-      run_gate config lint_acc ~stage:"milp" (fun () ->
+      run_gate config audit ~stage:"milp" (fun () ->
           Lint.Engine.check_milp ~cp_target:config.milp.Buffering.Formulation.cp_target
             ~buffered:placement.Buffering.Formulation.all_buffered model
             placement.Buffering.Formulation.lp placement.Buffering.Formulation.solution);
       let candidate = apply_buffers g (placement.Buffering.Formulation.new_buffers) in
-      let achieved = levels_of config candidate in
+      let cand_net, cand_lg = synth_map config candidate in
+      let achieved = cand_lg.Techmap.Lutgraph.max_level in
       let met = achieved <= config.target_levels in
       let last = it >= config.max_iterations in
       let kept =
@@ -169,16 +182,28 @@ let iterative ?(config = default_config) input =
         }
         :: !iterations;
       if met || last then begin
-        if config.slack_match then ignore (Buffering.Slack.apply candidate);
-        run_gate config lint_acc ~stage:"final-dfg" (fun () ->
+        (* Slack matching changes the elaborated netlist (transparent
+           buffers are real hardware), so it must land before the final
+           synthesis whose level count and mapping the outcome reports —
+           otherwise [final_levels] and the measured circuit disagree. *)
+        let cand_net, cand_lg =
+          if config.slack_match && Buffering.Slack.apply candidate > 0 then
+            synth_map config candidate
+          else (cand_net, cand_lg)
+        in
+        let final_levels = cand_lg.Techmap.Lutgraph.max_level in
+        run_gate config audit ~stage:"final-dfg" (fun () ->
             Lint.Engine.check_graph candidate);
         {
           graph = candidate;
+          net = cand_net;
+          lutgraph = cand_lg;
           iterations = List.rev !iterations;
-          met_target = met;
-          final_levels = achieved;
+          met_target = final_levels <= config.target_levels;
+          final_levels;
           total_buffers = List.length (G.buffered_channels candidate);
-          lint = !lint_acc;
+          lint = audit.a_report;
+          lint_stages = List.rev audit.a_stages;
         }
       end
       else iterate (it + 1) (List.sort_uniq compare (fixed @ kept))
@@ -189,22 +214,28 @@ let baseline ?(config = default_config) input =
   let g = G.copy input in
   G.clear_buffers g;
   let _ = seed_back_edges g in
-  let lint_acc = ref Lint.Engine.empty in
-  run_gate config lint_acc ~stage:"dfg" (fun () -> Lint.Engine.check_graph g);
+  let audit = new_audit () in
+  run_gate config audit ~stage:"dfg" (fun () -> Lint.Engine.check_graph g);
   let model = Timing.Precharacterized.build g in
   let cfdfcs = Buffering.Cfdfc.extract g in
   let milp = { config.milp with Buffering.Formulation.use_penalty = false } in
   match Buffering.Formulation.solve milp g model cfdfcs with
   | Error msg -> failwith ("Flow.baseline: " ^ msg)
   | Ok placement ->
-    run_gate config lint_acc ~stage:"milp" (fun () ->
+    run_gate config audit ~stage:"milp" (fun () ->
         Lint.Engine.check_milp ~cp_target:milp.Buffering.Formulation.cp_target
           ~buffered:placement.Buffering.Formulation.all_buffered model
           placement.Buffering.Formulation.lp placement.Buffering.Formulation.solution);
     let final = apply_buffers g placement.Buffering.Formulation.new_buffers in
-    let achieved = levels_of config final in
+    let final_net, final_lg = synth_map config final in
+    let achieved = final_lg.Techmap.Lutgraph.max_level in
+    (* the same closing gate the iterative flow runs: both flavors audit
+       their result graph, not just their inputs and MILP artefacts *)
+    run_gate config audit ~stage:"final-dfg" (fun () -> Lint.Engine.check_graph final);
     {
       graph = final;
+      net = final_net;
+      lutgraph = final_lg;
       iterations =
         [
           {
@@ -222,5 +253,6 @@ let baseline ?(config = default_config) input =
       met_target = achieved <= config.target_levels;
       final_levels = achieved;
       total_buffers = List.length (G.buffered_channels final);
-      lint = !lint_acc;
+      lint = audit.a_report;
+      lint_stages = List.rev audit.a_stages;
     }

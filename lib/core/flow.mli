@@ -54,11 +54,22 @@ type iteration = {
 
 type outcome = {
   graph : Dataflow.Graph.t;     (** final buffered circuit *)
+  net : Net.t;
+      (** elaborated netlist of {!field:graph} — the flow's own final
+          synthesis, so downstream measurement (P&R, STA) need not
+          re-synthesise the circuit *)
+  lutgraph : Techmap.Lutgraph.t;
+      (** LUT mapping of {!field:net}; [lutgraph.max_level] always equals
+          {!field:final_levels}, including under [slack_match] (the
+          transparent buffers are part of this netlist) *)
   iterations : iteration list;
   met_target : bool;
-  final_levels : int;
+  final_levels : int;           (** levels of the {e final} circuit, after slack matching *)
   total_buffers : int;
   lint : Lint.Engine.report;    (** non-fatal findings from the stage gates *)
+  lint_stages : string list;
+      (** audit trail: the gate stages that actually ran, in order (empty
+          when [lint_gates] is off); both flavors end with ["final-dfg"] *)
 }
 
 val seed_back_edges : Dataflow.Graph.t -> Dataflow.Graph.channel_id list

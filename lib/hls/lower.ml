@@ -8,11 +8,17 @@ and uses_bc_stmt = function
   | Ast.While _ | Ast.For _ -> false
   | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ -> false
 
-let counter = ref 0
+(* Fresh-name state is domain-local: kernels are compiled concurrently by
+   the experiment pool, and a shared counter would hand two statements in
+   one function the same name (or make names depend on scheduling). Each
+   [desugar] resets its domain's counter, so a given function lowers to
+   the same names no matter which domain compiles it. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh prefix =
-  incr counter;
-  Printf.sprintf "_%s%d" prefix !counter
+  let c = Domain.DLS.get counter in
+  incr c;
+  Printf.sprintf "_%s%d" prefix !c
 
 let not_flag v = Ast.Not (Ast.Var v)
 
@@ -67,5 +73,5 @@ and desugar_stmt s =
 and desugar_block stmts = List.concat_map desugar_stmt stmts
 
 let desugar (f : Ast.func) =
-  counter := 0;
+  Domain.DLS.get counter := 0;
   { f with Ast.body = desugar_block f.Ast.body }

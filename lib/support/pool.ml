@@ -1,0 +1,144 @@
+(* A small fixed-width domain pool. Tasks are packaged as [unit -> unit]
+   closures that run the user thunk and store its outcome into the
+   future's cell, so one queue carries heterogeneously typed tasks. *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a state;
+}
+
+type t = {
+  width : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* a task was queued, or shutdown began *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  mutable worker_ids : Domain.id list;
+  (* [jobs = 1] runs tasks in place; this flag is how the sequential pool
+     detects (and rejects) nested submission, mirroring the worker-domain
+     check of the parallel pool. *)
+  mutable in_place_task : bool;
+}
+
+let fulfil fut outcome =
+  Mutex.protect fut.f_mutex (fun () ->
+      fut.f_state <- outcome;
+      Condition.broadcast fut.f_cond)
+
+let run_task fut thunk =
+  match thunk () with
+  | v -> fulfil fut (Done v)
+  | exception e -> fulfil fut (Failed (e, Printexc.get_raw_backtrace ()))
+
+let worker_loop pool () =
+  let rec next () =
+    Mutex.lock pool.mutex;
+    let rec take () =
+      match Queue.take_opt pool.queue with
+      | Some task -> Some task
+      | None ->
+        if pool.closed then None
+        else begin
+          Condition.wait pool.nonempty pool.mutex;
+          take ()
+        end
+    in
+    let task = take () in
+    Mutex.unlock pool.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+      task ();
+      next ()
+  in
+  next ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      width = jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [];
+      worker_ids = [];
+      in_place_task = false;
+    }
+  in
+  if jobs > 1 then begin
+    pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker_loop pool));
+    pool.worker_ids <- List.map Domain.get_id pool.workers
+  end;
+  pool
+
+let jobs t = t.width
+
+let submit t thunk =
+  if t.width = 1 then begin
+    if t.in_place_task then
+      invalid_arg "Pool.submit: nested submission from inside a task";
+    if t.closed then invalid_arg "Pool.submit: pool is shut down";
+    let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
+    t.in_place_task <- true;
+    Fun.protect ~finally:(fun () -> t.in_place_task <- false) (fun () -> run_task fut thunk);
+    fut
+  end
+  else begin
+    if List.mem (Domain.self ()) t.worker_ids then
+      invalid_arg "Pool.submit: nested submission from inside a task";
+    let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.add (fun () -> run_task fut thunk) t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex;
+    fut
+  end
+
+let pending fut = match fut.f_state with Pending -> true | Done _ | Failed _ -> false
+
+let await fut =
+  Mutex.lock fut.f_mutex;
+  while pending fut do
+    Condition.wait fut.f_cond fut.f_mutex
+  done;
+  let state = fut.f_state in
+  Mutex.unlock fut.f_mutex;
+  match state with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let map_list t f xs = List.map (fun x -> submit t (fun () -> f x)) xs |> List.map await
+
+let shutdown t =
+  if t.width > 1 then begin
+    Mutex.lock t.mutex;
+    let was_closed = t.closed in
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    if not was_closed then List.iter Domain.join t.workers
+  end
+  else t.closed <- true
+
+let run ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_jobs () =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some j when j >= 1 -> j | _ -> 1)

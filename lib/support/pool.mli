@@ -1,0 +1,65 @@
+(** Fixed-size domain worker pool with futures.
+
+    Built for the embarrassingly parallel shape of the evaluation: many
+    independent synthesise → solve → check flows whose results must come
+    back in a deterministic order. Tasks are submitted as thunks and run
+    on [jobs] worker domains; {!await} blocks until the task finished and
+    re-raises (with its original backtrace) any exception the task threw.
+
+    Determinism contract: the pool never reorders {e results} — a future
+    holds the result of exactly the thunk it was submitted for, so
+    awaiting futures in submission order yields submission-order results
+    regardless of completion order ({!map_list} does exactly that).
+
+    [jobs = 1] degrades to in-place sequential execution on the calling
+    domain: {!submit} runs the thunk immediately and {!await} just
+    unwraps, so a single-job pool is behaviourally identical to
+    [List.map] — no domains are spawned and determinism is trivial.
+
+    Nested submission is {e rejected}, at every width: a task may not
+    submit to the pool it is running on ([Invalid_argument]). Supporting
+    it on a fixed-width pool invites deadlock (all workers blocked in
+    [await] on tasks that no free worker can pick up), and the flows this
+    pool exists for have a flat task structure; rejecting uniformly also
+    keeps [jobs = 1] and [jobs > 1] observationally identical. Submit
+    from the coordinating domain only. *)
+
+type t
+(** A pool of worker domains (or the sequential in-place pool). *)
+
+type 'a future
+(** The pending (or completed) result of a submitted task. *)
+
+val create : jobs:int -> t
+(** [create ~jobs]: [jobs >= 2] spawns [jobs] worker domains; [jobs = 1]
+    spawns none and executes tasks in place at submission. Raises
+    [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The width the pool was created with. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. Raises [Invalid_argument] if called from inside a
+    task of the same pool (see the nested-submission note above) or
+    after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until the task completed; return its result or re-raise its
+    exception with the original backtrace. Idempotent. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list t f xs] submits [f x] for every element and awaits them in
+    submission order: a parallel [List.map] with deterministic output
+    order. *)
+
+val shutdown : t -> unit
+(** Wait for queued tasks to finish and join the workers. Idempotent;
+    further {!submit}s raise. *)
+
+val run : jobs:int -> (t -> 'a) -> 'a
+(** [run ~jobs f] brackets [create]/[shutdown] around [f] (shutdown also
+    on exception). *)
+
+val default_jobs : unit -> int
+(** Pool width from the [REPRO_JOBS] environment variable (clamped to at
+    least 1); [1] when unset or unparsable. *)

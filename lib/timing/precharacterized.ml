@@ -3,7 +3,14 @@ module K = Dataflow.Unit_kind
 
 let level_delay = 0.7
 
+(* The characterisation memo is shared across domains (baseline flows run
+   concurrently under the experiment pool), so reads and writes are
+   mutex-guarded: a torn Hashtbl resize would corrupt the table. Values
+   are deterministic per key, so two domains racing to characterise the
+   same signature store the same delay — duplicated work, never a
+   different answer. *)
 let cache : (string, float) Hashtbl.t = Hashtbl.create 64
+let cache_mutex = Mutex.create ()
 
 (* Expected width of each input port of a unit, given the widths its
    instance sees in the real graph. *)
@@ -46,11 +53,11 @@ let characterize g uid =
 
 let unit_delay g uid =
   let key = signature g uid in
-  match Hashtbl.find_opt cache key with
+  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key) with
   | Some d -> d
   | None ->
     let d = characterize g uid in
-    Hashtbl.replace cache key d;
+    Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache key d);
     d
 
 let build g =

@@ -79,3 +79,48 @@ let loop ?(buffered = true) () =
   if buffered then G.set_buffer g back (Some { G.transparent = false; slots = 2 });
   (match G.validate g with Ok () -> () | Error e -> failwith e);
   (g, back)
+
+(* Tiny mini-C kernels (4-element arrays, short loops): full-flow tests
+   that need an [Hls.Kernels.t] use these instead of the paper benchmarks
+   so a complete baseline + iterative run stays test-sized. *)
+
+let tiny_kernel name source mems = { Hls.Kernels.name; source; mems }
+
+let tsum = tiny_kernel "tsum" {|
+int tsum(int a[4]) {
+  int s = 0;
+  for (int i = 0; i < 4; i = i + 1) { s = s + a[i]; }
+  return s;
+}
+|} (fun () -> [ ("a", [| 1; 2; 3; 4 |]) ])
+
+let tif = tiny_kernel "tif" {|
+int tif(int a[4]) {
+  int s = 0;
+  for (int i = 0; i < 4; i = i + 1) {
+    if (a[i] > 2) { s = s + a[i]; }
+  }
+  return s;
+}
+|} (fun () -> [ ("a", [| 1; 4; 2; 5 |]) ])
+
+let tmul = tiny_kernel "tmul" {|
+int tmul(int a[4]) {
+  int s = 1;
+  for (int i = 0; i < 3; i = i + 1) { s = s * a[i] + 1; }
+  return s;
+}
+|} (fun () -> [ ("a", [| 2; 3; 1; 5 |]) ])
+
+let tiny_kernels = [ tsum; tif; tmul ]
+
+(* The branch & bound budget dominates a full-flow run; capping it keeps
+   a baseline (Eq. 1) solve on the tiny kernels under a second without
+   touching anything determinism depends on. *)
+let cheap_flow_config =
+  let d = Core.Flow.default_config in
+  {
+    d with
+    Core.Flow.max_iterations = 1;
+    milp = { d.Core.Flow.milp with Buffering.Formulation.node_limit = 20 };
+  }

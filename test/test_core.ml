@@ -52,6 +52,85 @@ let test_tight_target_iterates () =
   check Alcotest.bool "did not meet target" false outcome.Core.Flow.met_target;
   check Alcotest.int "used the budget" 2 (List.length outcome.Core.Flow.iterations)
 
+(* Slack matching runs before the final level check, so every recorded
+   final field describes the circuit the flow actually returns: the
+   padded graph, its netlist, and its mapping all agree. *)
+let test_slack_matched_outcome () =
+  let run slack_match =
+    let config = { Fixtures.cheap_flow_config with Core.Flow.slack_match } in
+    Core.Flow.iterative ~config (Hls.Kernels.graph Fixtures.tsum)
+  in
+  let off = run false and on = run true in
+  check Alcotest.bool "slack padding placed extra buffers" true
+    (on.Core.Flow.total_buffers > off.Core.Flow.total_buffers);
+  (* re-synthesise the returned graph: the recorded netlist and mapping
+     must be those of the post-slack circuit, not a stale pre-slack one *)
+  let renet = Elaborate.run on.Core.Flow.graph in
+  let relg = Techmap.Mapper.run ~k:Core.Flow.default_config.Core.Flow.lut_k
+      (Techmap.Synth.run renet) in
+  check Alcotest.int "final_levels is the post-slack level count"
+    relg.Techmap.Lutgraph.max_level on.Core.Flow.final_levels;
+  check Alcotest.int "lutgraph matches the final circuit's levels"
+    relg.Techmap.Lutgraph.max_level on.Core.Flow.lutgraph.Techmap.Lutgraph.max_level;
+  check Alcotest.int "lutgraph matches the final circuit's LUT count"
+    (Techmap.Lutgraph.n_luts relg) (Techmap.Lutgraph.n_luts on.Core.Flow.lutgraph);
+  check Alcotest.int "net matches the final circuit's gate count"
+    (Net.n_gates renet) (Net.n_gates on.Core.Flow.net);
+  check Alcotest.bool "met_target judged on the post-slack levels" true
+    (on.Core.Flow.met_target
+     = (on.Core.Flow.final_levels <= Fixtures.cheap_flow_config.Core.Flow.target_levels))
+
+(* Experiment.measure reads the flow's own final netlist instead of
+   re-synthesising: the reported metrics must be exactly an STA of the
+   outcome's [net]/[lutgraph]. *)
+let test_measure_uses_flow_netlist () =
+  let config = Fixtures.cheap_flow_config in
+  List.iter
+    (fun flavor ->
+      let metrics, outcome =
+        Core.Experiment.run_flow ~config ~flavor Fixtures.tsum
+      in
+      let pr =
+        Placeroute.Sta.analyze ~seed:7 outcome.Core.Flow.net
+          outcome.Core.Flow.lutgraph
+      in
+      check (Alcotest.float 1e-9) "cp from the outcome netlist"
+        pr.Placeroute.Sta.cp metrics.Core.Experiment.cp;
+      check Alcotest.int "luts from the outcome netlist"
+        pr.Placeroute.Sta.n_luts metrics.Core.Experiment.luts;
+      check Alcotest.int "ffs from the outcome netlist"
+        pr.Placeroute.Sta.n_ffs metrics.Core.Experiment.ffs;
+      check Alcotest.int "levels are the outcome's final levels"
+        outcome.Core.Flow.final_levels metrics.Core.Experiment.levels)
+    [ `Baseline; `Iterative ]
+
+(* Both flavors finish with the final-dfg lint gate; the baseline used
+   to skip it entirely. *)
+let test_final_lint_gate_runs () =
+  let g, _ = Fixtures.loop ~buffered:false () in
+  let baseline = Core.Flow.baseline g in
+  let iterative = Core.Flow.iterative g in
+  check Alcotest.bool "baseline audit ends with final-dfg" true
+    (List.mem "final-dfg" baseline.Core.Flow.lint_stages);
+  check Alcotest.bool "iterative audit ends with final-dfg" true
+    (List.mem "final-dfg" iterative.Core.Flow.lint_stages);
+  check Alcotest.bool "gates off leaves no audit trail" true
+    (let config = { Core.Flow.default_config with Core.Flow.lint_gates = false } in
+     (Core.Flow.baseline ~config g).Core.Flow.lint_stages = [])
+
+(* The LUT input count is not a cosmetic default: mapping the same
+   netlist at a different k changes the level count, so benchmarks must
+   pass the flow's [lut_k] explicitly rather than rely on the mapper's
+   default agreeing with it. *)
+let test_mapper_k_matters () =
+  let g = Hls.Kernels.graph Fixtures.tsum in
+  ignore (Core.Flow.seed_back_edges g);
+  let synth = Techmap.Synth.run (Elaborate.run g) in
+  let at k = (Techmap.Mapper.run ~k synth).Techmap.Lutgraph.max_level in
+  check Alcotest.int "flow default is 6-LUT" 6
+    Core.Flow.default_config.Core.Flow.lut_k;
+  check Alcotest.bool "k=3 maps deeper than k=6" true (at 3 > at 6)
+
 let test_report_pct () =
   check Alcotest.string "negative" "-50%" (Core.Report.pct 50. 100.);
   check Alcotest.string "positive" "+25%" (Core.Report.pct 125. 100.);
@@ -116,6 +195,10 @@ let suite =
     ("baseline flow on loop", `Quick, test_baseline_on_loop);
     ("input graph not mutated", `Quick, test_input_not_mutated);
     ("tight target exhausts iterations", `Quick, test_tight_target_iterates);
+    ("slack matching precedes the final record", `Quick, test_slack_matched_outcome);
+    ("measure reads the flow netlist", `Quick, test_measure_uses_flow_netlist);
+    ("final lint gate runs in both flavors", `Quick, test_final_lint_gate_runs);
+    ("mapper k changes levels", `Quick, test_mapper_k_matters);
     ("report pct", `Quick, test_report_pct);
     ("report renders", `Quick, test_report_renders);
     ("report csv", `Quick, test_report_csv);

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "repro"
     [
       ("support", Test_support.suite);
+      ("pool", Test_pool.suite);
       ("dataflow", Test_dataflow.suite);
       ("netlist", Test_netlist.suite);
       ("techmap", Test_techmap.suite);
