@@ -42,6 +42,7 @@ let banner title =
 
 let jobs = ref (Support.Pool.default_jobs ())
 let kernel_subset : string list option ref = ref None
+let trace_file : string option ref = ref None
 
 (* rows are computed once and shared between table1 and figure5 *)
 let rows_cache : Core.Experiment.row list option ref = ref None
@@ -91,10 +92,14 @@ let table1 () =
   Format.fprintf fmt "@\n";
   Core.Report.iterations fmt r;
   Format.pp_print_flush fmt ();
-  Out_channel.with_open_text "results.csv" (fun oc ->
-      let cfmt = Format.formatter_of_out_channel oc in
-      Core.Report.csv cfmt r;
-      Format.pp_print_flush cfmt ());
+  (try
+     Out_channel.with_open_text "results.csv" (fun oc ->
+         let cfmt = Format.formatter_of_out_channel oc in
+         Core.Report.csv cfmt r;
+         Format.pp_print_flush cfmt ())
+   with Sys_error msg ->
+     Printf.eprintf "bench: cannot write results.csv: %s\n" msg;
+     exit 1);
   Format.fprintf fmt "(wrote results.csv)@."
 
 let figure5 () =
@@ -386,7 +391,8 @@ let micro () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [-j N|--jobs N] [--kernels a,b,c] [table1|figure5|ablation-*|sweep|micro]*";
+    "usage: main.exe [-j N|--jobs N] [--kernels a,b,c] [--trace FILE] \
+     [table1|figure5|ablation-*|sweep|micro]*";
   exit 1
 
 let set_kernels spec =
@@ -423,34 +429,59 @@ let rec parse_args targets = function
   | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--kernels=" ->
     set_kernels (String.sub arg 10 (String.length arg - 10));
     parse_args targets rest
+  | "--trace" :: file :: rest ->
+    trace_file := Some file;
+    parse_args targets rest
+  | "--trace" :: [] -> usage ()
+  | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
+    trace_file := Some (String.sub arg 8 (String.length arg - 8));
+    parse_args targets rest
   | target :: rest -> parse_args (target :: targets) rest
+
+(* Each bench target becomes one top-level span of the trace, so the
+   trace's root durations account for the whole run. Stdout stays
+   byte-identical with tracing on or off: the summary table and the
+   "wrote" confirmation go to stderr, the events to the JSON file. *)
+let run_target name f = Support.Trace.with_span ~cat:"bench" ("bench:" ^ name) f
 
 let () =
   let targets = parse_args [] (Array.to_list Sys.argv |> List.tl) in
-  match targets with
+  if !trace_file <> None then Support.Trace.start ();
+  (match targets with
   | [] ->
-    table1 ();
-    figure5 ();
-    ablation_penalty ();
-    ablation_iterations ();
-    ablation_routing ();
-    ablation_slack ();
-    ablation_balance ();
-    micro ()
+    run_target "table1" table1;
+    run_target "figure5" figure5;
+    run_target "ablation-penalty" ablation_penalty;
+    run_target "ablation-iterations" ablation_iterations;
+    run_target "ablation-routing" ablation_routing;
+    run_target "ablation-slack" ablation_slack;
+    run_target "ablation-balance" ablation_balance;
+    run_target "micro" micro
   | _ ->
     List.iter
       (function
-        | "table1" -> table1 ()
-        | "figure5" -> figure5 ()
-        | "ablation-penalty" -> ablation_penalty ()
-        | "ablation-iterations" -> ablation_iterations ()
-        | "ablation-routing" -> ablation_routing ()
-        | "ablation-slack" -> ablation_slack ()
-        | "ablation-balance" -> ablation_balance ()
-        | "sweep" -> sweep ()
-        | "ablation-width" -> ablation_width ()
-        | "micro" -> micro ()
+        | "table1" -> run_target "table1" table1
+        | "figure5" -> run_target "figure5" figure5
+        | "ablation-penalty" -> run_target "ablation-penalty" ablation_penalty
+        | "ablation-iterations" -> run_target "ablation-iterations" ablation_iterations
+        | "ablation-routing" -> run_target "ablation-routing" ablation_routing
+        | "ablation-slack" -> run_target "ablation-slack" ablation_slack
+        | "ablation-balance" -> run_target "ablation-balance" ablation_balance
+        | "sweep" -> run_target "sweep" sweep
+        | "ablation-width" -> run_target "ablation-width" ablation_width
+        | "micro" -> run_target "micro" micro
         | other ->
           Printf.eprintf "unknown bench target %S\n" other;
           exit 1)
-      targets
+      targets);
+  match !trace_file with
+  | None -> ()
+  | Some path -> (
+    let report = Support.Trace.stop () in
+    match Support.Trace.write_chrome_json report path with
+    | () ->
+      Format.eprintf "%a" Support.Trace.pp_summary report;
+      Printf.eprintf "[bench] wrote trace %s\n%!" path
+    | exception Sys_error msg ->
+      Printf.eprintf "bench: --trace: %s\n" msg;
+      exit 1)

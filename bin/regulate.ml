@@ -28,6 +28,46 @@ let jobs_arg =
   in
   Arg.(value & opt width (Support.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc =
+    "Profile the run and write Chrome trace-event JSON to $(docv) (load in chrome://tracing or \
+     Perfetto). The per-stage summary table goes to stderr; stdout is byte-identical with and \
+     without tracing. Missing parent directories are created."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Open an output file named by a CLI flag: create missing parent
+   directories, and turn an unwritable path into a cmdliner `Msg error
+   (clean usage-style message) instead of an exception backtrace. *)
+let with_out_file path f =
+  match
+    Support.Trace.ensure_parent_dir path;
+    Out_channel.with_open_text path f
+  with
+  | v -> Ok v
+  | exception Sys_error msg -> Error (`Msg msg)
+
+(* Run [f] under a trace session when [--trace] was given: the whole
+   command becomes one top-level span, the JSON sink lands in [path]
+   and the summary table goes to stderr (stdout untouched). *)
+let traced ~name trace f =
+  match trace with
+  | None -> Ok (f ())
+  | Some path ->
+    Support.Trace.start ();
+    (match Support.Trace.with_span ~cat:"cli" name f with
+    | v -> (
+      let report = Support.Trace.stop () in
+      match Support.Trace.write_chrome_json report path with
+      | () ->
+        Format.eprintf "%a" Support.Trace.pp_summary report;
+        Format.eprintf "[trace] wrote %s@." path;
+        Ok v
+      | exception Sys_error msg -> Error (`Msg msg))
+    | exception e ->
+      ignore (Support.Trace.stop ());
+      raise e)
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -59,14 +99,15 @@ let show_cmd =
     Printf.printf "seeded circuit: %d gates, %d FFs, %d LUTs, %d levels\n" (Net.n_gates net)
       (Net.count_ffs net) (Techmap.Lutgraph.n_luts lg) lg.Techmap.Lutgraph.max_level;
     match dot with
-    | None -> ()
+    | None -> Ok ()
     | Some file ->
-      let oc = open_out file in
-      Dataflow.Dot.to_channel oc g;
-      close_out oc;
-      Printf.printf "wrote %s\n" file
+      Result.map
+        (fun () -> Printf.printf "wrote %s\n" file)
+        (with_out_file file (fun oc -> Dataflow.Dot.to_channel oc g))
   in
-  Cmd.v (Cmd.info "show" ~doc:"Print kernel circuit statistics.") Term.(const run $ kernels_arg $ dot)
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print kernel circuit statistics.")
+    (Term.term_result Term.(const run $ kernels_arg $ dot))
 
 (* ---- flow ---- *)
 
@@ -81,7 +122,7 @@ let flow_cmd =
   let routing = Arg.(value & flag & info [ "routing-aware" ] ~doc:"Fold placement wire estimates into the model.") in
   let slack = Arg.(value & flag & info [ "slack-match" ] ~doc:"Pad reconvergent paths with transparent capacity.") in
   let balance = Arg.(value & flag & info [ "balance" ] ~doc:"Run AND re-association before mapping.") in
-  let run name flavor levels routing slack balance =
+  let run name flavor levels routing slack balance trace =
     let k = Hls.Kernels.by_name name in
     let config =
       {
@@ -97,6 +138,7 @@ let flow_cmd =
           };
       }
     in
+    traced ~name:"regulate:flow" trace @@ fun () ->
     let metrics, outcome = Core.Experiment.run_flow ~config ~flavor k in
     List.iter
       (fun (it : Core.Flow.iteration) ->
@@ -118,7 +160,8 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Run one buffering flow on one kernel.")
-    Term.(const run $ kernels_arg $ flavor $ levels $ routing $ slack $ balance)
+    (Term.term_result
+       Term.(const run $ kernels_arg $ flavor $ levels $ routing $ slack $ balance $ trace_arg))
 
 (* ---- export ---- *)
 
@@ -304,8 +347,9 @@ let compare_cmd =
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc:"Kernels (default: all nine).")
   in
-  let run names jobs =
+  let run names jobs trace =
     let names = if names = [] then None else Some names in
+    traced ~name:"regulate:compare" trace @@ fun () ->
     let rows = Core.Experiment.run_all_parallel ~jobs ?names () in
     Core.Report.table1 Format.std_formatter rows;
     Format.print_newline ();
@@ -315,7 +359,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Reproduce Table I / Figure 5 for the given kernels.")
-    Term.(const run $ names $ jobs_arg)
+    (Term.term_result Term.(const run $ names $ jobs_arg $ trace_arg))
 
 let () =
   let doc = "Mapping-aware iterative buffer placement for dataflow circuits (DAC'23 reproduction)." in

@@ -1,4 +1,5 @@
 module G = Dataflow.Graph
+module Trace = Support.Trace
 
 type metrics = {
   cp : float;
@@ -20,13 +21,14 @@ type row = {
 }
 
 let measure (outcome : Flow.outcome) kernel =
+  Trace.with_span ~cat:"experiment" "experiment:measure" @@ fun () ->
   let g = outcome.Flow.graph in
   (* the flow already synthesised its final circuit; measuring from the
      outcome's netlist avoids a full re-synthesis per kernel run *)
   let net = outcome.Flow.net and lg = outcome.Flow.lutgraph in
   let pr = Placeroute.Sta.analyze ~seed:7 net lg in
   let mems = kernel.Hls.Kernels.mems () in
-  let sim = Sim.Elastic.run ~memories:mems g in
+  let sim = Trace.with_span ~cat:"sim" "sim:elastic" (fun () -> Sim.Elastic.run ~memories:mems g) in
   let reference = Hls.Kernels.reference kernel in
   let value_ok =
     sim.Sim.Elastic.finished && sim.Sim.Elastic.exit_value = Some reference
@@ -83,14 +85,23 @@ let run_all_timed ?(config = Flow.default_config) ?jobs ?names ?kernels () =
      forcing the catalogue here keeps that true even if initialisation
      order ever changes, so no worker races to register rules *)
   ignore (Lint.Engine.catalogue ());
+  Trace.with_span ~cat:"experiment" "experiment:run_all" @@ fun () ->
+  (* captured before submission: task spans re-root under this span's
+     path whichever domain runs them, so the trace nests identically at
+     any [jobs] width *)
+  let ctx = Trace.current_context () in
   let wall0 = Unix.gettimeofday () in
   let results =
     Support.Pool.run ~jobs (fun pool ->
         let submit k flavor =
+          let label =
+            Printf.sprintf "task:%s:%s" k.Hls.Kernels.name
+              (match flavor with `Baseline -> "baseline" | `Iterative -> "iterative")
+          in
           Support.Pool.submit pool (fun () ->
-              let t0 = Unix.gettimeofday () in
-              let metrics, _ = run_flow ~config ~flavor k in
-              (metrics, Unix.gettimeofday () -. t0))
+              Trace.with_context ctx (fun () ->
+                  Trace.timed ~cat:"task" label (fun () ->
+                      fst (run_flow ~config ~flavor k))))
         in
         ks
         |> List.map (fun k -> (k, submit k `Baseline, submit k `Iterative))

@@ -1,5 +1,6 @@
 module G = Dataflow.Graph
 module A = Dataflow.Analysis
+module Trace = Support.Trace
 
 type config = {
   target_levels : int;
@@ -62,6 +63,7 @@ let seed_back_edges g =
   back
 
 let synth_map cfg g =
+  Trace.with_span "flow:synth+map" @@ fun () ->
   let net = Elaborate.run g in
   let synth = Techmap.Synth.run net in
   let synth = if cfg.balance then Techmap.Balance.run synth else synth in
@@ -106,19 +108,25 @@ let new_audit () = { a_report = Lint.Engine.empty; a_stages = [] }
 
 let run_gate config audit ~stage check =
   if config.lint_gates then begin
-    audit.a_report <- Lint.Engine.merge audit.a_report (Lint.Engine.gate ~stage (check ()));
+    let r = Trace.with_span ~cat:"lint" ("lint:" ^ stage) check in
+    audit.a_report <- Lint.Engine.merge audit.a_report (Lint.Engine.gate ~stage r);
     audit.a_stages <- stage :: audit.a_stages
   end
 
 let iterative ?(config = default_config) input =
+  Trace.with_span "flow:iterative" @@ fun () ->
   let g0 = G.copy input in
   G.clear_buffers g0;
-  let seeded = seed_back_edges g0 in
+  let seeded = Trace.with_span "flow:seed" (fun () -> seed_back_edges g0) in
   ignore seeded;
   let audit = new_audit () in
   run_gate config audit ~stage:"dfg" (fun () -> Lint.Engine.check_graph g0);
   let iterations = ref [] in
-  let rec iterate it fixed =
+  (* one refinement iteration; the recursion lives in [iterate] below so
+     that the per-iteration trace span closes before the next iteration
+     opens (a recursive span would nest every iteration under the
+     previous one) *)
+  let step it fixed =
     (* the working circuit for this iteration: base + fixed buffers *)
     let g = apply_buffers g0 fixed in
     let net, lg = synth_map config g in
@@ -128,7 +136,10 @@ let iterative ?(config = default_config) input =
     let lut_extra =
       if not config.routing_aware then fun _ -> 0.
       else begin
-        let pl = Placeroute.Place.run ~seed:7 ~effort:0.3 net lg in
+        let pl =
+          Trace.with_span ~cat:"placeroute" "flow:routing-est" (fun () ->
+              Placeroute.Place.run ~seed:7 ~effort:0.3 net lg)
+        in
         let max_in = Array.make (Techmap.Lutgraph.n_luts lg) 0. in
         List.iter
           (fun { Techmap.Lutgraph.e_src; e_dst } ->
@@ -147,12 +158,13 @@ let iterative ?(config = default_config) input =
       end
     in
     let tg, model =
-      Timing.Mapping_aware.build_with_graph ~lut_delay:config.level_delay ~lut_extra g ~net lg
+      Trace.with_span "flow:model" (fun () ->
+          Timing.Mapping_aware.build_with_graph ~lut_delay:config.level_delay ~lut_extra g ~net lg)
     in
     run_gate config audit ~stage:"lut-mapping" (fun () ->
         Lint.Engine.check_mapping g lg tg model);
     let cfdfcs = Buffering.Cfdfc.extract g in
-    match Buffering.Formulation.solve config.milp g model cfdfcs with
+    match Trace.with_span "flow:milp" (fun () -> Buffering.Formulation.solve config.milp g model cfdfcs) with
     | Error msg -> failwith ("Flow.iterative: " ^ msg)
     | Ok placement ->
       run_gate config audit ~stage:"milp" (fun () ->
@@ -187,39 +199,48 @@ let iterative ?(config = default_config) input =
            synthesis whose level count and mapping the outcome reports —
            otherwise [final_levels] and the measured circuit disagree. *)
         let cand_net, cand_lg =
-          if config.slack_match && Buffering.Slack.apply candidate > 0 then
-            synth_map config candidate
+          if
+            config.slack_match
+            && Trace.with_span "flow:slack" (fun () -> Buffering.Slack.apply candidate) > 0
+          then synth_map config candidate
           else (cand_net, cand_lg)
         in
         let final_levels = cand_lg.Techmap.Lutgraph.max_level in
         run_gate config audit ~stage:"final-dfg" (fun () ->
             Lint.Engine.check_graph candidate);
-        {
-          graph = candidate;
-          net = cand_net;
-          lutgraph = cand_lg;
-          iterations = List.rev !iterations;
-          met_target = final_levels <= config.target_levels;
-          final_levels;
-          total_buffers = List.length (G.buffered_channels candidate);
-          lint = audit.a_report;
-          lint_stages = List.rev audit.a_stages;
-        }
+        `Done
+          {
+            graph = candidate;
+            net = cand_net;
+            lutgraph = cand_lg;
+            iterations = List.rev !iterations;
+            met_target = final_levels <= config.target_levels;
+            final_levels;
+            total_buffers = List.length (G.buffered_channels candidate);
+            lint = audit.a_report;
+            lint_stages = List.rev audit.a_stages;
+          }
       end
-      else iterate (it + 1) (List.sort_uniq compare (fixed @ kept))
+      else `Continue (List.sort_uniq compare (fixed @ kept))
+  in
+  let rec iterate it fixed =
+    match Trace.with_span "flow:iteration" (fun () -> step it fixed) with
+    | `Done outcome -> outcome
+    | `Continue fixed' -> iterate (it + 1) fixed'
   in
   iterate 1 []
 
 let baseline ?(config = default_config) input =
+  Trace.with_span "flow:baseline" @@ fun () ->
   let g = G.copy input in
   G.clear_buffers g;
-  let _ = seed_back_edges g in
+  let _ = Trace.with_span "flow:seed" (fun () -> seed_back_edges g) in
   let audit = new_audit () in
   run_gate config audit ~stage:"dfg" (fun () -> Lint.Engine.check_graph g);
-  let model = Timing.Precharacterized.build g in
+  let model = Trace.with_span "flow:model" (fun () -> Timing.Precharacterized.build g) in
   let cfdfcs = Buffering.Cfdfc.extract g in
   let milp = { config.milp with Buffering.Formulation.use_penalty = false } in
-  match Buffering.Formulation.solve milp g model cfdfcs with
+  match Trace.with_span "flow:milp" (fun () -> Buffering.Formulation.solve milp g model cfdfcs) with
   | Error msg -> failwith ("Flow.baseline: " ^ msg)
   | Ok placement ->
     run_gate config audit ~stage:"milp" (fun () ->

@@ -55,6 +55,7 @@ module Heap = struct
 end
 
 let solve ?(node_limit = 50_000) ?(eps = 1e-6) ?(time_limit = 120.) ?initial lp =
+  Support.Trace.with_span ~cat:"milp" "milp:bb" @@ fun () ->
   let started = Unix.gettimeofday () in
   let maximize, _ = Lp.objective lp in
   let sense = if maximize then 1. else -1. in
@@ -101,8 +102,10 @@ let solve ?(node_limit = 50_000) ?(eps = 1e-6) ?(time_limit = 120.) ?initial lp 
       | _ -> None)
   in
   let nodes = ref 0 in
+  let relaxations = ref 0 in
   let heap = Heap.create () in
   let relax fixes =
+    incr relaxations;
     apply_fixes fixes;
     Simplex.solve lp
   in
@@ -173,5 +176,7 @@ let solve ?(node_limit = 50_000) ?(eps = 1e-6) ?(time_limit = 120.) ?initial lp 
         List.iter (fun v -> x.(v) <- Float.round x.(v)) int_vars;
         Optimal { obj; x; proved_optimal = not !exhausted; nodes = !nodes })
   in
+  Support.Trace.add "milp.bb.nodes" !nodes;
+  Support.Trace.add "milp.lp.relaxations" !relaxations;
   restore ();
   result

@@ -99,7 +99,10 @@ let optimize t ~allowed =
       end
     end
   in
-  loop ()
+  let result = loop () in
+  (* the terminal iteration performs no pivot, so pivots = entries - 1 *)
+  Support.Trace.add "milp.simplex.pivots" (!iter - 1);
+  result
 
 let solve lp =
   let nv = Lp.n_vars lp in

@@ -68,7 +68,11 @@ let run net (lg : L.t) (pl : Place.t) =
   }
 
 let analyze ?seed ?effort net lg =
-  let pl = Place.run ?seed ?effort net lg in
+  Support.Trace.with_span ~cat:"placeroute" "placeroute:sta" @@ fun () ->
+  let pl =
+    Support.Trace.with_span ~cat:"placeroute" "placeroute:place" (fun () ->
+        Place.run ?seed ?effort net lg)
+  in
   run net lg pl
 
 let pp_critical_path fmt g (lg : L.t) report =

@@ -43,8 +43,14 @@ let cut_union a b k =
   if !over then None else Some (Array.sub out 0 !n)
 
 let run ?(k = 6) ?(cut_limit = 8) (synth : Synth.t) =
+  Support.Trace.with_span ~cat:"techmap" "techmap:map" @@ fun () ->
   let aig = synth.Synth.aig in
   let n = Aig.n_nodes aig in
+  (* cut-enumeration effort counters, reported at the end of the run:
+     [enumerated] counts fanin cut pairs merged (the inner loop's work),
+     [kept] the priority cuts that survive per node *)
+  let enumerated = ref 0 in
+  let kept = ref 0 in
   let cuts = Array.make n [||] in
   (* best_depth.(v) = mapped depth of v's best realisable cut; 0 for CIs *)
   let best_depth = Array.make n 0 in
@@ -68,6 +74,7 @@ let run ?(k = 6) ?(cut_limit = 8) (synth : Synth.t) =
         (fun a ->
           Array.iter
             (fun b ->
+              incr enumerated;
               match cut_union a b k with
               | None -> ()
               | Some c ->
@@ -99,9 +106,12 @@ let run ?(k = 6) ?(cut_limit = 8) (synth : Synth.t) =
         | c :: rest -> take (c :: acc) (i + 1) rest
       in
       (* keep the priority cuts plus the trivial cut for parents *)
-      cuts.(v) <- Array.of_list (take [] 0 sorted @ [ [| v |] ])
+      cuts.(v) <- Array.of_list (take [] 0 sorted @ [ [| v |] ]);
+      kept := !kept + Array.length cuts.(v)
     end
   done;
+  Support.Trace.add "techmap.cuts.enumerated" !enumerated;
+  Support.Trace.add "techmap.cuts.kept" !kept;
   (* Selection: materialise LUTs for every AND node reachable as a chosen
      cut root, starting from the combinational outputs. *)
   let lut_of_node = Array.make n (-1) in

@@ -5,6 +5,7 @@ type t = {
 }
 
 let run net =
+  Support.Trace.with_span ~cat:"techmap" "techmap:synth" @@ fun () ->
   let n = Net.n_gates net in
   let aig = Aig.create () in
   let lit_of_gate = Array.make n (-1) in

@@ -3,6 +3,7 @@ let () =
     [
       ("support", Test_support.suite);
       ("pool", Test_pool.suite);
+      ("trace", Test_trace.suite);
       ("dataflow", Test_dataflow.suite);
       ("netlist", Test_netlist.suite);
       ("techmap", Test_techmap.suite);
