@@ -43,6 +43,7 @@ let banner title =
 let jobs = ref (Support.Pool.default_jobs ())
 let kernel_subset : string list option ref = ref None
 let trace_file : string option ref = ref None
+let cache_dir : string option ref = ref None
 
 (* rows are computed once and shared between table1 and figure5 *)
 let rows_cache : Core.Experiment.row list option ref = ref None
@@ -391,9 +392,26 @@ let micro () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [-j N|--jobs N] [--kernels a,b,c] [--trace FILE] \
+    "usage: main.exe [-j N|--jobs N] [--kernels a,b,c] [--trace FILE] [--cache-dir DIR] \
      [table1|figure5|ablation-*|sweep|micro]*";
   exit 1
+
+(* A repeated kernel would be run and reported twice for no new
+   information: keep the first occurrence, warn on stderr so stdout
+   (the tables) stays byte-identical with the deduplicated spec. *)
+let dedupe_kernels names =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then begin
+        Printf.eprintf "[bench] warning: duplicate kernel %S ignored\n%!" n;
+        false
+      end
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
 
 let set_kernels spec =
   let names = String.split_on_char ',' spec |> List.filter (( <> ) "") in
@@ -405,7 +423,7 @@ let set_kernels spec =
        (if List.length bad > 1 then "s" else "")
        (String.concat ", " bad) (String.concat ", " known);
      exit 1);
-  kernel_subset := Some names
+  kernel_subset := Some (dedupe_kernels names)
 
 let rec parse_args targets = function
   | [] -> List.rev targets
@@ -436,6 +454,13 @@ let rec parse_args targets = function
   | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
     trace_file := Some (String.sub arg 8 (String.length arg - 8));
     parse_args targets rest
+  | "--cache-dir" :: dir :: rest ->
+    cache_dir := Some dir;
+    parse_args targets rest
+  | "--cache-dir" :: [] -> usage ()
+  | arg :: rest when String.length arg > 12 && String.sub arg 0 12 = "--cache-dir=" ->
+    cache_dir := Some (String.sub arg 12 (String.length arg - 12));
+    parse_args targets rest
   | target :: rest -> parse_args (target :: targets) rest
 
 (* Each bench target becomes one top-level span of the trace, so the
@@ -446,6 +471,16 @@ let run_target name f = Support.Trace.with_span ~cat:"bench" ("bench:" ^ name) f
 
 let () =
   let targets = parse_args [] (Array.to_list Sys.argv |> List.tl) in
+  (* the artifact cache persists synth/map results, unit delays and MILP
+     solutions across processes; stdout stays byte-identical either way *)
+  (match Cache.Control.resolve_dir ~flag:!cache_dir with
+  | None -> ()
+  | Some dir -> (
+    match Cache.Control.enable dir with
+    | _store -> Printf.eprintf "[bench] artifact cache at %s\n%!" dir
+    | exception Sys_error msg ->
+      Printf.eprintf "bench: --cache-dir: %s\n" msg;
+      exit 1));
   if !trace_file <> None then Support.Trace.start ();
   (match targets with
   | [] ->
@@ -474,7 +509,7 @@ let () =
           Printf.eprintf "unknown bench target %S\n" other;
           exit 1)
       targets);
-  match !trace_file with
+  (match !trace_file with
   | None -> ()
   | Some path -> (
     let report = Support.Trace.stop () in
@@ -484,4 +519,6 @@ let () =
       Printf.eprintf "[bench] wrote trace %s\n%!" path
     | exception Sys_error msg ->
       Printf.eprintf "bench: --trace: %s\n" msg;
-      exit 1)
+      exit 1));
+  (* appends the session's hit/miss counters to the store's stats.log *)
+  Cache.Control.finish ()

@@ -36,6 +36,26 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let cache_dir_arg =
+  let doc =
+    "Artifact cache directory (overrides the $(b,REPRO_CACHE) environment variable). Synthesis \
+     and LUT-mapping results, pre-characterised unit delays and MILP solutions are stored \
+     content-addressed and reused across runs, processes and $(b,--jobs) domains; stdout is \
+     byte-identical with and without the cache. See `regulate cache` for stats and maintenance."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+(* Enable the artifact cache around [f] when a directory was configured
+   (flag first, then $REPRO_CACHE); the session's counters are appended
+   to the store's stats.log whichever way [f] exits. *)
+let with_cache dir f =
+  match Cache.Control.resolve_dir ~flag:dir with
+  | None -> f ()
+  | Some d -> (
+    match Cache.Control.enable d with
+    | exception Sys_error msg -> Error (`Msg ("--cache-dir: " ^ msg))
+    | _store -> Fun.protect ~finally:Cache.Control.finish f)
+
 (* Open an output file named by a CLI flag: create missing parent
    directories, and turn an unwritable path into a cmdliner `Msg error
    (clean usage-style message) instead of an exception backtrace. *)
@@ -122,7 +142,7 @@ let flow_cmd =
   let routing = Arg.(value & flag & info [ "routing-aware" ] ~doc:"Fold placement wire estimates into the model.") in
   let slack = Arg.(value & flag & info [ "slack-match" ] ~doc:"Pad reconvergent paths with transparent capacity.") in
   let balance = Arg.(value & flag & info [ "balance" ] ~doc:"Run AND re-association before mapping.") in
-  let run name flavor levels routing slack balance trace =
+  let run name flavor levels routing slack balance trace cache_dir =
     let k = Hls.Kernels.by_name name in
     let config =
       {
@@ -138,6 +158,7 @@ let flow_cmd =
           };
       }
     in
+    with_cache cache_dir @@ fun () ->
     traced ~name:"regulate:flow" trace @@ fun () ->
     let metrics, outcome = Core.Experiment.run_flow ~config ~flavor k in
     List.iter
@@ -161,7 +182,9 @@ let flow_cmd =
   Cmd.v
     (Cmd.info "flow" ~doc:"Run one buffering flow on one kernel.")
     (Term.term_result
-       Term.(const run $ kernels_arg $ flavor $ levels $ routing $ slack $ balance $ trace_arg))
+       Term.(
+         const run $ kernels_arg $ flavor $ levels $ routing $ slack $ balance $ trace_arg
+         $ cache_dir_arg))
 
 (* ---- export ---- *)
 
@@ -343,12 +366,32 @@ let lint_cmd =
 
 (* ---- compare ---- *)
 
+(* A repeated kernel name would be run (and reported) twice for no new
+   information; keep the first occurrence and warn on stderr so stdout
+   stays a clean report. *)
+let dedupe_kernel_names ~cli names =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then begin
+        Printf.eprintf "[%s] warning: duplicate kernel %S ignored\n%!" cli n;
+        false
+      end
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
+
 let compare_cmd =
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc:"Kernels (default: all nine).")
   in
-  let run names jobs trace =
-    let names = if names = [] then None else Some names in
+  let run names jobs trace cache_dir =
+    let names =
+      match dedupe_kernel_names ~cli:"regulate" names with [] -> None | names -> Some names
+    in
+    with_cache cache_dir @@ fun () ->
     traced ~name:"regulate:compare" trace @@ fun () ->
     let rows = Core.Experiment.run_all_parallel ~jobs ?names () in
     Core.Report.table1 Format.std_formatter rows;
@@ -359,7 +402,69 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Reproduce Table I / Figure 5 for the given kernels.")
-    (Term.term_result Term.(const run $ names $ jobs_arg $ trace_arg))
+    (Term.term_result Term.(const run $ names $ jobs_arg $ trace_arg $ cache_dir_arg))
+
+(* ---- cache ---- *)
+
+let cache_cmd =
+  let dir_term =
+    let resolve dir =
+      match Cache.Control.resolve_dir ~flag:dir with
+      | Some d -> Ok d
+      | None -> Error (`Msg "no cache directory: pass --cache-dir or set REPRO_CACHE")
+    in
+    Term.(term_result (const resolve $ cache_dir_arg))
+  in
+  let stats_cmd =
+    let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object.") in
+    let run dir json =
+      if json then print_endline (Cache.Store.stats_json dir)
+      else begin
+        let s = Cache.Store.disk_stats dir in
+        let rate h m = if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m) in
+        Printf.printf "cache %s\n" dir;
+        Printf.printf "  entries   %d\n" s.Cache.Store.ds_entries;
+        Printf.printf "  bytes     %d\n" s.Cache.Store.ds_bytes;
+        Printf.printf "  sessions  %d\n" s.Cache.Store.ds_sessions;
+        Printf.printf "  hits      %d\n" s.Cache.Store.ds_hits;
+        Printf.printf "  misses    %d\n" s.Cache.Store.ds_misses;
+        Printf.printf "  puts      %d\n" s.Cache.Store.ds_puts;
+        Printf.printf "  hit rate  %.3f\n" (rate s.Cache.Store.ds_hits s.Cache.Store.ds_misses);
+        match s.Cache.Store.ds_last with
+        | None -> ()
+        | Some (h, m, p) ->
+          Printf.printf "  last session: hits %d misses %d puts %d (hit rate %.3f)\n" h m p
+            (rate h m)
+      end
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Report entry counts, sizes and hit rates for a cache directory.")
+      Term.(const run $ dir_term $ json)
+  in
+  let gc_cmd =
+    let max_bytes =
+      let doc = "Evict entries (oldest last-use first) until at most $(docv) entry bytes remain." in
+      Arg.(required & opt (some int) None & info [ "max-bytes" ] ~docv:"BYTES" ~doc)
+    in
+    let run dir max_bytes =
+      let removed, freed = Cache.Store.gc dir ~max_bytes in
+      Printf.printf "removed %d entries (%d bytes) from %s\n" removed freed dir
+    in
+    Cmd.v
+      (Cmd.info "gc" ~doc:"Shrink a cache directory to a byte budget.")
+      Term.(const run $ dir_term $ max_bytes)
+  in
+  let clear_cmd =
+    let run dir =
+      Cache.Store.clear dir;
+      Printf.printf "cleared %s\n" dir
+    in
+    Cmd.v (Cmd.info "clear" ~doc:"Delete all cache entries and stats.") Term.(const run $ dir_term)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Inspect and maintain the artifact cache (see --cache-dir / REPRO_CACHE).")
+    [ stats_cmd; gc_cmd; clear_cmd ]
 
 let () =
   let doc = "Mapping-aware iterative buffer placement for dataflow circuits (DAC'23 reproduction)." in
@@ -373,6 +478,7 @@ let () =
             flow_cmd;
             lint_cmd;
             compare_cmd;
+            cache_cmd;
             export_cmd;
             profile_cmd;
             compile_cmd;

@@ -140,29 +140,47 @@ let solve cfg g (model : M.t) cfdfcs =
          r_vars [])
   in
   Milp.Lp.set_objective lp ~maximize:true obj;
-  (* Rounding heuristic: buffer-everywhere directions are always
-     CP-feasible, so rounding the relaxation's fractional R up and
-     re-solving the continuous rest yields a feasible incumbent that
-     lets branch & bound prune from the start. *)
-  let initial =
-    match Milp.Simplex.solve lp with
-    | Milp.Simplex.Optimal { x; _ } ->
-      let saved = Hashtbl.fold (fun c v acc -> (c, v, Milp.Lp.bounds lp v) :: acc) r_vars [] in
-      List.iter
-        (fun (_, v, _) ->
-          let r = if x.(v) > 1e-4 then 1. else 0. in
-          Milp.Lp.set_bounds lp v ~lo:r ~hi:r)
-        saved;
-      let result =
-        match Milp.Simplex.solve lp with
-        | Milp.Simplex.Optimal { x = x0; _ } -> Some x0
-        | _ -> None
-      in
-      List.iter (fun (_, v, (lo, hi)) -> Milp.Lp.set_bounds lp v ~lo ~hi) saved;
-      result
-    | _ -> None
+  let run_solver () =
+    (* Rounding heuristic: buffer-everywhere directions are always
+       CP-feasible, so rounding the relaxation's fractional R up and
+       re-solving the continuous rest yields a feasible incumbent that
+       lets branch & bound prune from the start. *)
+    let initial =
+      match Milp.Simplex.solve lp with
+      | Milp.Simplex.Optimal { x; _ } ->
+        let saved = Hashtbl.fold (fun c v acc -> (c, v, Milp.Lp.bounds lp v) :: acc) r_vars [] in
+        List.iter
+          (fun (_, v, _) ->
+            let r = if x.(v) > 1e-4 then 1. else 0. in
+            Milp.Lp.set_bounds lp v ~lo:r ~hi:r)
+          saved;
+        let result =
+          match Milp.Simplex.solve lp with
+          | Milp.Simplex.Optimal { x = x0; _ } -> Some x0
+          | _ -> None
+        in
+        List.iter (fun (_, v, (lo, hi)) -> Milp.Lp.set_bounds lp v ~lo ~hi) saved;
+        result
+      | _ -> None
+    in
+    Milp.Bb.solve ~node_limit:cfg.node_limit ?initial lp
   in
-  match Milp.Bb.solve ~node_limit:cfg.node_limit ?initial lp with
+  (* The solved assignment is memoized on the canonical hash of the
+     formulation itself (plus the search budget): a warm run skips both
+     the rounding heuristic's simplex solves and the branch & bound.
+     The cached solution is still checked row-by-row against the
+     freshly built [lp] by the milp lint gate downstream, so a cache
+     that somehow served a wrong assignment would be flagged, not
+     silently trusted. *)
+  let bb_result =
+    if Cache.Control.enabled () then
+      let key =
+        Cache.Hash.combine [ Cache.Hash.lp lp; Printf.sprintf "node_limit=%d" cfg.node_limit ]
+      in
+      Cache.Control.memo ~kind:"milp" ~key run_solver
+    else run_solver ()
+  in
+  match bb_result with
   | Milp.Bb.Infeasible -> Error "buffer MILP infeasible"
   | Milp.Bb.Unbounded -> Error "buffer MILP unbounded"
   | Milp.Bb.Optimal { obj; x; proved_optimal; _ } ->

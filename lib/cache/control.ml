@@ -1,0 +1,34 @@
+let store : Store.t option Atomic.t = Atomic.make None
+
+let active () = Atomic.get store
+let enabled () = active () <> None
+
+let enable ?mem_bytes dir =
+  let s = Store.open_dir ?mem_bytes dir in
+  Atomic.set store (Some s);
+  s
+
+let finish () =
+  match Atomic.exchange store None with
+  | None -> ()
+  | Some s -> Store.finish s
+
+let env_var = "REPRO_CACHE"
+
+let dir_from_env () =
+  match Sys.getenv_opt env_var with
+  | Some d when String.trim d <> "" -> Some d
+  | _ -> None
+
+let resolve_dir ~flag = match flag with Some _ -> flag | None -> dir_from_env ()
+
+let memo ~kind ~key f =
+  match active () with
+  | None -> f ()
+  | Some s -> (
+    match Store.get s ~kind ~key with
+    | Some payload -> Marshal.from_string payload 0
+    | None ->
+      let v = f () in
+      Store.put s ~kind ~key (Marshal.to_string v []);
+      v)

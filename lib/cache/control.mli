@@ -1,0 +1,42 @@
+(** Process-global cache activation and memoization.
+
+    Like {!Support.Trace}, the cache is a process-global switch rather
+    than a parameter threaded through every stage: the CLIs enable it
+    once (from [--cache-dir] or the [REPRO_CACHE] environment variable)
+    and the instrumented hot paths — {!Core.Flow.synth_map}, the
+    pre-characterised unit delays, the MILP solve — consult it with one
+    atomic load. Disabled means every memoized function runs exactly as
+    before, allocating nothing extra.
+
+    Enable/disable from the main domain only, before and after any
+    {!Support.Pool} fan-out; {e lookups} are safe from any domain. *)
+
+val enabled : unit -> bool
+val active : unit -> Store.t option
+
+val enable : ?mem_bytes:int -> string -> Store.t
+(** Open a store rooted at the directory and make it the process
+    cache. Raises [Sys_error] if the directory cannot be created. *)
+
+val finish : unit -> unit
+(** Flush the active store's session counters ({!Store.finish}) and
+    disable the cache. No-op when disabled. *)
+
+val env_var : string
+(** ["REPRO_CACHE"]. *)
+
+val dir_from_env : unit -> string option
+(** The environment-variable cache directory, if set and non-empty. *)
+
+val resolve_dir : flag:string option -> string option
+(** Effective cache directory: the CLI flag when given, else the
+    environment variable. *)
+
+val memo : kind:string -> key:string -> (unit -> 'a) -> 'a
+(** [memo ~kind ~key f] returns the cached value for [(kind, key)] or
+    computes [f ()] and stores it. Values are [Marshal]-encoded; the
+    store's header checksums and version stamps guarantee a decoded
+    payload is byte-exact and written by this model version, so the
+    only type obligation is the caller's: {b one [kind] string must map
+    to exactly one result type} across the whole code base. With no
+    active store this is exactly [f ()]. *)

@@ -1,0 +1,60 @@
+type entry = { value : string; mutable stamp : int }
+
+type t = {
+  max_bytes : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable total : int;
+  mutex : Mutex.t;
+}
+
+let create ~max_bytes =
+  { max_bytes; tbl = Hashtbl.create 64; tick = 0; total = 0; mutex = Mutex.create () }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let find t key =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> None
+      | Some e ->
+        touch t e;
+        Some e.value)
+
+(* Eviction scans for the stalest entry: O(n) per eviction, but the
+   table holds at most a few hundred flow artifacts and evictions only
+   happen at the byte bound, so a linked-list LRU would buy nothing. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= e.stamp -> acc
+        | _ -> Some (k, e))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, e) ->
+    Hashtbl.remove t.tbl k;
+    t.total <- t.total - String.length e.value
+
+let add t key value =
+  if String.length value <= t.max_bytes then
+    Mutex.protect t.mutex (fun () ->
+        (match Hashtbl.find_opt t.tbl key with
+        | Some old ->
+          Hashtbl.remove t.tbl key;
+          t.total <- t.total - String.length old.value
+        | None -> ());
+        let e = { value; stamp = 0 } in
+        touch t e;
+        Hashtbl.replace t.tbl key e;
+        t.total <- t.total + String.length value;
+        while t.total > t.max_bytes && Hashtbl.length t.tbl > 0 do
+          evict_one t
+        done)
+
+let bytes t = Mutex.protect t.mutex (fun () -> t.total)

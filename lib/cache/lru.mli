@@ -1,0 +1,19 @@
+(** Bounded, mutex-guarded in-memory LRU of cache payloads.
+
+    The front of the on-disk store: repeated lookups of a hot entry in
+    one process skip the file read and checksum verification. Keys are
+    entry ids (hex digests), values are raw payload bytes; the bound is
+    on total payload bytes. All operations take the internal mutex, so
+    the structure is safe under concurrent {!Support.Pool} domains.
+
+    [max_bytes = 0] disables the front entirely (every [add] evicts
+    immediately) — tests use this to force disk reads. An entry larger
+    than [max_bytes] is simply not retained. *)
+
+type t
+
+val create : max_bytes:int -> t
+val find : t -> string -> string option
+val add : t -> string -> string -> unit
+val bytes : t -> int
+(** Current total payload bytes retained. *)

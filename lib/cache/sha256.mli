@@ -1,0 +1,17 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    The stdlib of the pinned toolchain only ships MD5 ([Digest]), whose
+    collisions are constructible; cache keys that silently alias would
+    hand one artifact's result to another, so the content-addressed
+    store hashes with SHA-256 instead. One-shot over in-memory strings —
+    the canonical serialisations this repository hashes are built in a
+    [Buffer] anyway, so no streaming interface is needed. *)
+
+val digest : string -> string
+(** Raw 32-byte digest. *)
+
+val hex : string -> string
+(** Lowercase 64-character hex digest: [to_hex (digest s)]. *)
+
+val to_hex : string -> string
+(** Lowercase hex rendering of a raw digest (or any byte string). *)

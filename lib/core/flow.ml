@@ -62,12 +62,29 @@ let seed_back_edges g =
   List.iter (fun c -> G.set_buffer g c opaque) back;
   back
 
+(* Synthesis + mapping of an already-elaborated netlist: the expensive
+   half of [synth_map], and the unit of artifact caching — keyed by the
+   canonical netlist hash plus the two config fields that change the
+   mapped result, so warm runs skip AIG construction and cut
+   enumeration entirely (cross-iteration, cross-flavor, cross-process
+   hits all share one entry). *)
+let synth_map_net cfg net =
+  let synth = Techmap.Synth.run net in
+  let synth = if cfg.balance then Techmap.Balance.run synth else synth in
+  Techmap.Mapper.run ~k:cfg.lut_k synth
+
 let synth_map cfg g =
   Trace.with_span "flow:synth+map" @@ fun () ->
   let net = Elaborate.run g in
-  let synth = Techmap.Synth.run net in
-  let synth = if cfg.balance then Techmap.Balance.run synth else synth in
-  let lg = Techmap.Mapper.run ~k:cfg.lut_k synth in
+  let lg =
+    if Cache.Control.enabled () then
+      let key =
+        Cache.Hash.combine
+          [ Cache.Hash.netlist net; Printf.sprintf "k=%d;balance=%b" cfg.lut_k cfg.balance ]
+      in
+      Cache.Control.memo ~kind:"synthmap" ~key (fun () -> synth_map_net cfg net)
+    else synth_map_net cfg net
+  in
   (net, lg)
 
 let levels_of cfg g =
@@ -122,14 +139,25 @@ let iterative ?(config = default_config) input =
   let audit = new_audit () in
   run_gate config audit ~stage:"dfg" (fun () -> Lint.Engine.check_graph g0);
   let iterations = ref [] in
+  let sorted_buffered g = List.map fst (G.buffered_channels g) |> List.sort compare in
   (* one refinement iteration; the recursion lives in [iterate] below so
      that the per-iteration trace span closes before the next iteration
      opens (a recursive span would nest every iteration under the
      previous one) *)
-  let step it fixed =
+  let step it fixed prev =
     (* the working circuit for this iteration: base + fixed buffers *)
     let g = apply_buffers g0 fixed in
-    let net, lg = synth_map config g in
+    (* When the previous iteration kept every proposed buffer, this
+       iteration's circuit is exactly the candidate it already
+       synthesised — reuse that netlist and mapping instead of running
+       synth+map again (independent of the on-disk cache). *)
+    let net, lg =
+      match prev with
+      | Some (prev_buffered, prev_net, prev_lg) when sorted_buffered g = prev_buffered ->
+        Trace.add "flow.synthmap.reused" 1;
+        (prev_net, prev_lg)
+      | _ -> synth_map config g
+    in
     run_gate config audit ~stage:"netlist" (fun () -> Lint.Engine.check_netlist g net);
     (* optional routing awareness (§VI future work): fold estimated wire
        delays from a quick placement into each LUT's delay *)
@@ -221,14 +249,17 @@ let iterative ?(config = default_config) input =
             lint_stages = List.rev audit.a_stages;
           }
       end
-      else `Continue (List.sort_uniq compare (fixed @ kept))
+      else
+        `Continue
+          ( List.sort_uniq compare (fixed @ kept),
+            Some (sorted_buffered candidate, cand_net, cand_lg) )
   in
-  let rec iterate it fixed =
-    match Trace.with_span "flow:iteration" (fun () -> step it fixed) with
+  let rec iterate it fixed prev =
+    match Trace.with_span "flow:iteration" (fun () -> step it fixed prev) with
     | `Done outcome -> outcome
-    | `Continue fixed' -> iterate (it + 1) fixed'
+    | `Continue (fixed', prev') -> iterate (it + 1) fixed' prev'
   in
-  iterate 1 []
+  iterate 1 [] None
 
 let baseline ?(config = default_config) input =
   Trace.with_span "flow:baseline" @@ fun () ->

@@ -22,8 +22,19 @@ let in_widths g uid =
 
 let signature g uid =
   let n = G.unit_node g uid in
-  Printf.sprintf "%s/w%d/in[%s]" (K.name n.G.kind) n.G.width
+  (* loads/stores elaborate against the named memory, so its word count
+     is part of the unit's identity — without it two graphs with
+     same-named memories of different sizes would share a delay *)
+  let mem_suffix =
+    match n.G.kind with
+    | K.Load { mem; _ } | K.Store { mem } ->
+      let size = try List.assoc mem (G.memories g) with Not_found -> 0 in
+      Printf.sprintf "/mem:%s=%d" mem size
+    | _ -> ""
+  in
+  Printf.sprintf "%s/w%d/in[%s]%s" (K.name n.G.kind) n.G.width
     (String.concat "," (List.map string_of_int (in_widths g uid)))
+    mem_suffix
 
 (* Build the isolation harness: sources -> buffer -> unit -> buffer -> sink,
    synthesise, map, and measure the LUT level count. *)
@@ -56,7 +67,13 @@ let unit_delay g uid =
   match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key) with
   | Some d -> d
   | None ->
-    let d = characterize g uid in
+    (* second level: the persistent artifact cache, so characterisation
+       harness runs survive across processes and --jobs domains *)
+    let d =
+      if Cache.Control.enabled () then
+        Cache.Control.memo ~kind:"unitdelay" ~key (fun () -> characterize g uid)
+      else characterize g uid
+    in
     Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache key d);
     d
 

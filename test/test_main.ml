@@ -19,4 +19,5 @@ let () =
       ("regressions", Test_regressions.suite);
       ("extensions", Test_extensions.suite);
       ("gatelevel", Test_gatelevel.suite);
+      ("cache", Test_cache.suite);
     ]
