@@ -172,6 +172,11 @@ let flow_cmd =
            else "")
       )
       outcome.Core.Flow.iterations;
+    (match List.rev outcome.Core.Flow.iterations with
+    | last :: _ ->
+      Format.printf "throughput: milp phi=%.4f vs %a@." last.Core.Flow.milp_phi
+        Analysis.Certify.pp outcome.Core.Flow.certified
+    | [] -> ());
     Printf.printf
       "final: levels=%d (target %d, met=%b) buffers=%d cp=%.2fns cycles=%d exec=%.0fns luts=%d ffs=%d ok=%b\n"
       metrics.Core.Experiment.levels levels metrics.Core.Experiment.met_target
@@ -294,14 +299,33 @@ let lint_kernel ~levels k =
   let cp_target = float_of_int levels *. 0.7 in
   let milp_cfg = { Buffering.Formulation.default_config with cp_target } in
   let cfdfcs = Buffering.Cfdfc.extract g in
-  let r_milp =
+  let r_milp, r_perf =
     match Buffering.Formulation.solve milp_cfg g model cfdfcs with
-    | Error msg -> Lint.Engine.of_diagnostics [ Lint.Milp_rules.solve_failure msg ]
+    | Error msg ->
+      (Lint.Engine.of_diagnostics [ Lint.Milp_rules.solve_failure msg ], Lint.Engine.empty)
     | Ok p ->
-      Lint.Engine.check_milp ~cp_target ~buffered:p.Buffering.Formulation.all_buffered model
-        p.Buffering.Formulation.lp p.Buffering.Formulation.solution
+      let r_milp =
+        Lint.Engine.check_milp ~cp_target ~buffered:p.Buffering.Formulation.all_buffered model
+          p.Buffering.Formulation.lp p.Buffering.Formulation.solution
+      in
+      (* the LP-free oracle: certify the placement the MILP proposed and
+         audit its throughput claims against the certified bound *)
+      let candidate = Dataflow.Graph.copy g in
+      List.iter
+        (fun c ->
+          Dataflow.Graph.set_buffer candidate c
+            (Some { Dataflow.Graph.transparent = false; slots = 2 }))
+        p.Buffering.Formulation.new_buffers;
+      let cert = Analysis.Certify.certify candidate in
+      let truncated = List.exists (fun cf -> cf.Buffering.Cfdfc.truncated) cfdfcs in
+      let phi =
+        List.map2
+          (fun (cf : Buffering.Cfdfc.t) th -> (cf.Buffering.Cfdfc.units, th))
+          cfdfcs p.Buffering.Formulation.throughput
+      in
+      (r_milp, Lint.Engine.check_perf ~truncated ~phi cert candidate)
   in
-  List.fold_left Lint.Engine.merge Lint.Engine.empty [ pre; post; r_net; r_map; r_milp ]
+  List.fold_left Lint.Engine.merge Lint.Engine.empty [ pre; post; r_net; r_map; r_milp; r_perf ]
 
 let lint_cmd =
   let names =
@@ -364,8 +388,6 @@ let lint_cmd =
        ~doc:"Statically verify kernels: DFG structure, netlist, LUT mapping, MILP certificate.")
     Term.(const run $ names $ json $ fail_on_warning $ levels $ rules $ jobs_arg)
 
-(* ---- compare ---- *)
-
 (* A repeated kernel name would be run (and reported) twice for no new
    information; keep the first occurrence and warn on stderr so stdout
    stays a clean report. *)
@@ -382,6 +404,115 @@ let dedupe_kernel_names ~cli names =
         true
       end)
     names
+
+(* ---- verify ---- *)
+
+(* The throughput & liveness certifier as a first-class surface. The
+   default mode is pure graph analysis (seed back-edge buffers, then
+   certify): instant even on the biggest kernels, which is what CI runs
+   across the whole suite. [--milp] additionally solves the
+   pre-characterised buffer MILP and audits its phi claims against the
+   certified bound of the placement it proposed. *)
+let verify_kernel ~levels ~milp k =
+  let g = Dataflow.Graph.copy (Hls.Kernels.graph k) in
+  ignore (Core.Flow.seed_back_edges g);
+  if not milp then begin
+    let cert = Analysis.Certify.certify g in
+    let _, truncated = Dataflow.Analysis.simple_cycles_capped g in
+    (cert, Lint.Engine.check_perf ~truncated ~phi:[] cert g)
+  end
+  else begin
+    let model = Timing.Precharacterized.build g in
+    let cfdfcs = Buffering.Cfdfc.extract g in
+    let truncated = List.exists (fun cf -> cf.Buffering.Cfdfc.truncated) cfdfcs in
+    let cp_target = float_of_int levels *. 0.7 in
+    let cfg = { Buffering.Formulation.default_config with cp_target; use_penalty = false } in
+    match Buffering.Formulation.solve cfg g model cfdfcs with
+    | Error msg ->
+      (Analysis.Certify.certify g, Lint.Engine.of_diagnostics [ Lint.Milp_rules.solve_failure msg ])
+    | Ok p ->
+      let candidate = Dataflow.Graph.copy g in
+      List.iter
+        (fun c ->
+          Dataflow.Graph.set_buffer candidate c
+            (Some { Dataflow.Graph.transparent = false; slots = 2 }))
+        p.Buffering.Formulation.new_buffers;
+      let cert = Analysis.Certify.certify candidate in
+      let phi =
+        List.map2
+          (fun (cf : Buffering.Cfdfc.t) th -> (cf.Buffering.Cfdfc.units, th))
+          cfdfcs p.Buffering.Formulation.throughput
+      in
+      (cert, Lint.Engine.check_perf ~truncated ~phi cert candidate)
+  end
+
+let verify_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc:"Kernels (default: all nine).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.") in
+  let milp =
+    Arg.(
+      value & flag
+      & info [ "milp" ]
+          ~doc:
+            "Also solve the pre-characterised buffer MILP and audit its throughput claims \
+             against the certificate (slower on big kernels).")
+  in
+  let fail_on_warning =
+    Arg.(value & flag & info [ "fail-on-warning" ] ~doc:"Exit non-zero on warnings too.")
+  in
+  let levels =
+    Arg.(value & opt int 6 & info [ "levels" ] ~docv:"N" ~doc:"Target logic levels (default 6).")
+  in
+  let run names json milp fail_on_warning levels trace cache_dir =
+    let ks =
+      match dedupe_kernel_names ~cli:"regulate" names with
+      | [] -> Hls.Kernels.all
+      | names -> List.map Hls.Kernels.by_name names
+    in
+    with_cache cache_dir @@ fun () ->
+    traced ~name:"regulate:verify" trace @@ fun () ->
+    if json then print_string "[";
+    let failed =
+      List.fold_left
+        (fun (failed, i) k ->
+          let name = k.Hls.Kernels.name in
+          let cert, r = verify_kernel ~levels ~milp k in
+          if json then begin
+            if i > 0 then print_string ",";
+            Printf.printf "{\"label\":\"%s\",\"certificate\":%s,\"report\":%s}"
+              (Lint.Diagnostic.json_escape name)
+              (Analysis.Certify.to_json cert)
+              (Lint.Engine.report_to_json r)
+          end
+          else begin
+            Format.printf "%-15s %a (Howard/Karp %s)@." name Analysis.Certify.pp cert
+              (if Analysis.Certify.karp_agrees cert then "agree" else "DISAGREE");
+            if r.Lint.Engine.diagnostics <> [] then Format.printf "  %a@." Lint.Engine.pp_report r
+          end;
+          Format.print_flush ();
+          flush stdout;
+          ( failed
+            || (not (Lint.Engine.ok r))
+            || (fail_on_warning && not (Lint.Engine.clean r))
+            || not (Analysis.Certify.karp_agrees cert),
+            i + 1 ))
+        (false, 0) ks
+      |> fst
+    in
+    if json then print_endline "]";
+    if failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Certify kernel throughput bounds and liveness (LP-free Howard/Karp min cycle ratio); \
+          with --milp, audit the MILP's claims against them.")
+    (Term.term_result
+       Term.(const run $ names $ json $ milp $ fail_on_warning $ levels $ trace_arg $ cache_dir_arg))
+
+(* ---- compare ---- *)
 
 let compare_cmd =
   let names =
@@ -477,6 +608,7 @@ let () =
             show_cmd;
             flow_cmd;
             lint_cmd;
+            verify_cmd;
             compare_cmd;
             cache_cmd;
             export_cmd;

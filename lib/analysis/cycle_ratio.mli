@@ -1,0 +1,57 @@
+(** Minimum cycle ratio / minimum cycle mean over integer-weighted
+    directed graphs.
+
+    The primary solver is Howard's policy iteration (the consistently
+    fastest algorithm in Dasdan's minimum cycle ratio survey), which
+    also yields a {e witness cycle} attaining the optimum. An
+    independent implementation of Karp's dynamic program is provided as
+    a cross-check: the two share no code beyond this interface, so an
+    implementation bug in one is caught by disagreement with the other.
+
+    Graphs are tiny abstract instances (nodes [0..n_nodes-1], an edge
+    list) built by the callers ({!Certify}) from dataflow SCCs; costs
+    and transit times are integers so every cycle ratio is an exact
+    rational evaluated in one floating division. *)
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_cost : int;  (** numerator weight (tokens, latency, slack, …) *)
+  e_time : int;  (** denominator weight; must be >= 0, and every cycle
+                     must have positive total time *)
+  e_id : int;    (** caller's tag (e.g. a channel id), round-tripped
+                     into the witness *)
+}
+
+type graph = { n_nodes : int; edges : edge list }
+
+type stats = {
+  iterations : int;        (** policy-improvement rounds until fixpoint *)
+  cycles_evaluated : int;  (** policy cycles evaluated across all rounds *)
+}
+
+type witness = {
+  ratio : float;        (** minimum of cost(C)/time(C) over all cycles C *)
+  cycle : edge list;    (** a cycle attaining it, in traversal order *)
+}
+
+val howard : graph -> (witness * stats) option
+(** Minimum cycle ratio by policy iteration. [None] iff the graph is
+    acyclic. Raises [Invalid_argument] if an edge endpoint is out of
+    range or a cycle with non-positive total time is encountered —
+    callers must rule out zero-time cycles (combinational loops)
+    first, e.g. with {!min_cycle_mean} on the time weights. *)
+
+val min_cycle_mean : graph -> (witness * stats) option
+(** Minimum cycle mean of [e_cost]: {!howard} with every transit time
+    taken as 1. Negative costs are fine; a minimum mean <= 0 exposes a
+    non-positive-weight cycle. *)
+
+val karp : graph -> float option
+(** Minimum cycle ratio by Karp's dynamic program, independent of
+    {!howard}. Zero-time edges are eliminated by a shortest-path
+    closure (requiring their costs to be non-negative) and edges with
+    [e_time > 1] are expanded into unit-time chains, reducing the
+    ratio problem to minimum cycle mean per SCC. [None] iff acyclic;
+    raises [Invalid_argument] on zero-time cycles or negative-cost
+    zero-time edges. *)

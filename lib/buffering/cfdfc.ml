@@ -6,12 +6,13 @@ type t = {
   channels : G.channel_id list;
   back_edges : G.channel_id list;
   cycles : G.channel_id list list;
+  truncated : bool;
 }
 
 let extract ?(cycle_limit = 256) g =
   let sccs = A.cyclic_sccs g in
   let back = match G.marked_back_edges g with [] -> A.back_edges g | marked -> marked in
-  let all_cycles = A.simple_cycles ~limit:cycle_limit g in
+  let all_cycles, truncated = A.simple_cycles_capped ~limit:cycle_limit g in
   List.map
     (fun units ->
       let in_scc = Hashtbl.create 16 in
@@ -30,5 +31,5 @@ let extract ?(cycle_limit = 256) g =
       let cycles =
         List.filter (fun cyc -> List.for_all (Hashtbl.mem chan_set) cyc) all_cycles
       in
-      { units; channels; back_edges; cycles })
+      { units; channels; back_edges; cycles; truncated })
     sccs

@@ -11,6 +11,11 @@ type t = {
   channels : Dataflow.Graph.channel_id list;
   back_edges : Dataflow.Graph.channel_id list;  (** carry the initial token *)
   cycles : Dataflow.Graph.channel_id list list; (** enumerated simple cycles *)
+  truncated : bool;
+  (** the [cycle_limit] cap stopped the global cycle enumeration, so
+      [cycles] may be incomplete and the MILP's cycle-legality rows
+      under-constrain — downstream the throughput certifier's
+      [perf-cycle-limit-truncated] warning surfaces this *)
 }
 
 val extract : ?cycle_limit:int -> Dataflow.Graph.t -> t list

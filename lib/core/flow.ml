@@ -37,6 +37,8 @@ type iteration = {
   achieved_levels : int;
   milp_objective : float;
   milp_proved : bool;
+  milp_phi : float;
+  certified_bound : float;
 }
 
 type outcome = {
@@ -47,6 +49,7 @@ type outcome = {
   met_target : bool;
   final_levels : int;
   total_buffers : int;
+  certified : Analysis.Certify.t;
   lint : Lint.Engine.report;
   lint_stages : string list;
 }
@@ -130,6 +133,25 @@ let run_gate config audit ~stage check =
     audit.a_stages <- stage :: audit.a_stages
   end
 
+(* The LP-free performance oracle: right after each MILP solve, the
+   candidate placement is certified (min cycle ratio by Howard with a
+   Karp cross-check, marked-graph liveness) and the [perf] gate
+   compares the MILP's per-CFDFC throughput against the certified
+   bound. The certificate itself is computed even with lint gates off —
+   the outcome reports it alongside phi. *)
+let certify_placement config audit ~cfdfcs
+    ~(placement : Buffering.Formulation.placement) candidate =
+  let cert = Trace.with_span "flow:certify" (fun () -> Analysis.Certify.certify candidate) in
+  let truncated = List.exists (fun cf -> cf.Buffering.Cfdfc.truncated) cfdfcs in
+  let phi =
+    List.map2
+      (fun (cf : Buffering.Cfdfc.t) th -> (cf.Buffering.Cfdfc.units, th))
+      cfdfcs placement.Buffering.Formulation.throughput
+  in
+  run_gate config audit ~stage:"perf" (fun () ->
+      Lint.Engine.check_perf ~truncated ~phi cert candidate);
+  (cert, List.fold_left Float.min 1. placement.Buffering.Formulation.throughput)
+
 let iterative ?(config = default_config) input =
   Trace.with_span "flow:iterative" @@ fun () ->
   let g0 = G.copy input in
@@ -200,6 +222,7 @@ let iterative ?(config = default_config) input =
             ~buffered:placement.Buffering.Formulation.all_buffered model
             placement.Buffering.Formulation.lp placement.Buffering.Formulation.solution);
       let candidate = apply_buffers g (placement.Buffering.Formulation.new_buffers) in
+      let cert, milp_phi = certify_placement config audit ~cfdfcs ~placement candidate in
       let cand_net, cand_lg = synth_map config candidate in
       let achieved = cand_lg.Techmap.Lutgraph.max_level in
       let met = achieved <= config.target_levels in
@@ -219,6 +242,8 @@ let iterative ?(config = default_config) input =
           achieved_levels = achieved;
           milp_objective = placement.Buffering.Formulation.objective;
           milp_proved = placement.Buffering.Formulation.proved_optimal;
+          milp_phi;
+          certified_bound = cert.Analysis.Certify.throughput;
         }
         :: !iterations;
       if met || last then begin
@@ -245,6 +270,10 @@ let iterative ?(config = default_config) input =
             met_target = final_levels <= config.target_levels;
             final_levels;
             total_buffers = List.length (G.buffered_channels candidate);
+            (* slack matching only adds transparent capacity, which
+               cannot lower the bound or break liveness, so the
+               pre-slack certificate stays valid for the final graph *)
+            certified = cert;
             lint = audit.a_report;
             lint_stages = List.rev audit.a_stages;
           }
@@ -279,6 +308,7 @@ let baseline ?(config = default_config) input =
           ~buffered:placement.Buffering.Formulation.all_buffered model
           placement.Buffering.Formulation.lp placement.Buffering.Formulation.solution);
     let final = apply_buffers g placement.Buffering.Formulation.new_buffers in
+    let cert, milp_phi = certify_placement config audit ~cfdfcs ~placement final in
     let final_net, final_lg = synth_map config final in
     let achieved = final_lg.Techmap.Lutgraph.max_level in
     (* the same closing gate the iterative flow runs: both flavors audit
@@ -300,11 +330,14 @@ let baseline ?(config = default_config) input =
             achieved_levels = achieved;
             milp_objective = placement.Buffering.Formulation.objective;
             milp_proved = placement.Buffering.Formulation.proved_optimal;
+            milp_phi;
+            certified_bound = cert.Analysis.Certify.throughput;
           };
         ];
       met_target = achieved <= config.target_levels;
       final_levels = achieved;
       total_buffers = List.length (G.buffered_channels final);
+      certified = cert;
       lint = audit.a_report;
       lint_stages = List.rev audit.a_stages;
     }

@@ -50,6 +50,13 @@ type iteration = {
   achieved_levels : int;    (** post-synthesis levels with this iteration's buffers *)
   milp_objective : float;
   milp_proved : bool;
+  milp_phi : float;
+      (** the MILP's own throughput claim: min over its per-CFDFC
+          [theta]s (1.0 for an acyclic circuit) *)
+  certified_bound : float;
+      (** the LP-free certified throughput bound of this iteration's
+          candidate placement ({!Analysis.Certify}); the [perf] gate
+          enforces [milp_phi <= certified_bound + eps] *)
 }
 
 type outcome = {
@@ -66,6 +73,10 @@ type outcome = {
   met_target : bool;
   final_levels : int;           (** levels of the {e final} circuit, after slack matching *)
   total_buffers : int;
+  certified : Analysis.Certify.t;
+      (** the final placement's throughput & liveness certificate (from
+          the last MILP solve's candidate; slack matching only adds
+          transparent capacity, which cannot invalidate it) *)
   lint : Lint.Engine.report;    (** non-fatal findings from the stage gates *)
   lint_stages : string list;
       (** audit trail: the gate stages that actually ran, in order (empty

@@ -101,10 +101,11 @@ let topo_order g =
   done;
   List.rev !order
 
-let simple_cycles ?(limit = 512) g =
+let simple_cycles_capped ?(limit = 512) g =
   let n = Graph.n_units g in
   let cycles = ref [] in
   let count = ref 0 in
+  let truncated = ref false in
   (* Per Johnson: for each start vertex s, search for cycles through s
      using only vertices >= s; blocked-set bookkeeping keeps it output
      sensitive. We additionally cap at [limit]. *)
@@ -147,8 +148,10 @@ let simple_cycles ?(limit = 512) g =
        in
        ignore (circuit s [])
      done
-   with Done -> ());
-  List.rev !cycles
+   with Done -> truncated := true);
+  (List.rev !cycles, !truncated)
+
+let simple_cycles ?limit g = fst (simple_cycles_capped ?limit g)
 
 let shortest_path g ~src ~dst =
   if src = dst then Some []

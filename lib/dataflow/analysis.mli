@@ -17,7 +17,15 @@ val back_edges : Graph.t -> Graph.channel_id list
 
 val simple_cycles : ?limit:int -> Graph.t -> Graph.channel_id list list
 (** Johnson-style enumeration of simple cycles, each as a channel list,
-    capped at [limit] (default 512) cycles to stay tractable. *)
+    capped at [limit] (default 512) cycles to stay tractable. Truncation
+    is silent; callers that must know whether the enumeration was
+    exhaustive use {!simple_cycles_capped}. *)
+
+val simple_cycles_capped : ?limit:int -> Graph.t -> Graph.channel_id list list * bool
+(** Like {!simple_cycles}, plus a flag that is [true] when the [limit]
+    cap stopped the enumeration — i.e. the returned list may be missing
+    cycles. The flag is conservative: a graph with exactly [limit]
+    simple cycles also reports [true]. *)
 
 val shortest_path : Graph.t -> src:Graph.unit_id -> dst:Graph.unit_id -> Graph.channel_id list option
 (** BFS path with the fewest units from [src] to [dst], as the channel

@@ -45,10 +45,15 @@ let gate ~stage r =
    client only ever touches the engine. *)
 let check_graph ?stage g = of_diagnostics (Dfg_rules.check ?stage g)
 let check_netlist g net = of_diagnostics (Net_rules.check g net)
-let check_mapping g lg tg model = of_diagnostics (Lut_rules.check g lg tg model)
+
+let check_mapping g lg tg model =
+  of_diagnostics (Lut_rules.check g lg tg model @ Perf_rules.check_domains g tg)
 
 let check_milp ~cp_target ~buffered model lp x =
   of_diagnostics (Milp_rules.check ~cp_target ~buffered model lp x)
+
+let check_perf ?eps ?truncated ~phi cert g =
+  of_diagnostics (Perf_rules.check ?eps ?truncated ~phi cert g)
 
 let pp_report fmt r =
   if r.diagnostics = [] then Fmt.pf fmt "lint: clean"
@@ -80,6 +85,7 @@ let catalogue () =
   ignore Net_rules.rules;
   ignore Lut_rules.rules;
   ignore Milp_rules.rules;
+  ignore Perf_rules.rules;
   Rule.all ()
 
 let pp_catalogue fmt () =

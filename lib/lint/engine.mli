@@ -37,6 +37,8 @@ val check_netlist : Dataflow.Graph.t -> Net.t -> report
 
 val check_mapping :
   Dataflow.Graph.t -> Techmap.Lutgraph.t -> Timing.Lut_map.t -> Timing.Model.t -> report
+(** {!Lut_rules.check} plus the §IV-D domain discipline of
+    {!Perf_rules.check_domains}. *)
 
 val check_milp :
   cp_target:float ->
@@ -45,6 +47,16 @@ val check_milp :
   Milp.Lp.t ->
   float array ->
   report
+
+val check_perf :
+  ?eps:float ->
+  ?truncated:bool ->
+  phi:(Dataflow.Graph.unit_id list * float) list ->
+  Analysis.Certify.t ->
+  Dataflow.Graph.t ->
+  report
+(** The MILP's throughput claims vs. the independent certificate; see
+    {!Perf_rules.check}. *)
 
 (** {2 Rendering} *)
 

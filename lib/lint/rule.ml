@@ -1,12 +1,13 @@
-type target = Dfg | Netlist | Lut_mapping | Milp
+type target = Dfg | Netlist | Lut_mapping | Milp | Perf
 
 let target_name = function
   | Dfg -> "dfg"
   | Netlist -> "netlist"
   | Lut_mapping -> "lut-mapping"
   | Milp -> "milp"
+  | Perf -> "perf"
 
-let target_rank = function Dfg -> 0 | Netlist -> 1 | Lut_mapping -> 2 | Milp -> 3
+let target_rank = function Dfg -> 0 | Netlist -> 1 | Lut_mapping -> 2 | Milp -> 3 | Perf -> 4
 
 type info = {
   id : string;

@@ -12,6 +12,7 @@ type target =
   | Netlist      (** elaborated gate-level netlist *)
   | Lut_mapping  (** LUT-to-DFG mapping + timing model (§IV) *)
   | Milp         (** MILP solution certificate *)
+  | Perf         (** throughput & liveness certificate vs. the MILP's claims *)
 
 val target_name : target -> string
 
