@@ -45,6 +45,15 @@ let cache_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
+let cycle_cap_arg =
+  let doc =
+    "Simple-cycle enumeration cap for CFDFC extraction and the certifier (default: the \
+     $(b,REPRO_CYCLE_CAP) environment variable, else 512 for the certifier / 256 for CFDFCs). \
+     Raise it so a cycle-rich kernel's enumeration is exhaustive and the \
+     $(b,perf-cycle-limit-truncated) warning clears; the cost is MILP rows per extra cycle."
+  in
+  Arg.(value & opt (some int) None & info [ "cycle-cap" ] ~docv:"N" ~doc)
+
 (* Enable the artifact cache around [f] when a directory was configured
    (flag first, then $REPRO_CACHE); the session's counters are appended
    to the store's stats.log whichever way [f] exits. *)
@@ -142,7 +151,16 @@ let flow_cmd =
   let routing = Arg.(value & flag & info [ "routing-aware" ] ~doc:"Fold placement wire estimates into the model.") in
   let slack = Arg.(value & flag & info [ "slack-match" ] ~doc:"Pad reconvergent paths with transparent capacity.") in
   let balance = Arg.(value & flag & info [ "balance" ] ~doc:"Run AND re-association before mapping.") in
-  let run name flavor levels routing slack balance trace cache_dir =
+  let tv_exact =
+    Arg.(
+      value & flag
+      & info [ "tv-exact" ]
+          ~doc:
+            "Confirm every translation-validation signature mismatch by scalar replay and \
+             exhaustive evaluation of the offending LUT cone (the cheap signature gates always \
+             run).")
+  in
+  let run name flavor levels routing slack balance tv_exact trace cache_dir =
     let k = Hls.Kernels.by_name name in
     let config =
       {
@@ -151,6 +169,7 @@ let flow_cmd =
         routing_aware = routing;
         slack_match = slack;
         balance;
+        tv_exact;
         milp =
           {
             Core.Flow.default_config.Core.Flow.milp with
@@ -188,8 +207,8 @@ let flow_cmd =
     (Cmd.info "flow" ~doc:"Run one buffering flow on one kernel.")
     (Term.term_result
        Term.(
-         const run $ kernels_arg $ flavor $ levels $ routing $ slack $ balance $ trace_arg
-         $ cache_dir_arg))
+         const run $ kernels_arg $ flavor $ levels $ routing $ slack $ balance $ tv_exact
+         $ trace_arg $ cache_dir_arg))
 
 (* ---- export ---- *)
 
@@ -284,7 +303,7 @@ let profile_cmd =
 (* Runs every stage of the flow once (seed, elaborate, synthesise, map,
    model, MILP) purely to audit the artefacts with the lint rule set; no
    simulation or placement, so this is much cheaper than `flow`. *)
-let lint_kernel ~levels k =
+let lint_kernel ~levels ~cycle_cap k =
   let raw = Hls.Kernels.graph k in
   let pre = Lint.Engine.check_graph ~stage:Lint.Dfg_rules.Pre_buffering raw in
   let g = Dataflow.Graph.copy raw in
@@ -298,7 +317,7 @@ let lint_kernel ~levels k =
   let r_map = Lint.Engine.check_mapping g lg tg model in
   let cp_target = float_of_int levels *. 0.7 in
   let milp_cfg = { Buffering.Formulation.default_config with cp_target } in
-  let cfdfcs = Buffering.Cfdfc.extract g in
+  let cfdfcs = Buffering.Cfdfc.extract ?cycle_limit:cycle_cap g in
   let r_milp, r_perf =
     match Buffering.Formulation.solve milp_cfg g model cfdfcs with
     | Error msg ->
@@ -339,7 +358,7 @@ let lint_cmd =
     Arg.(value & opt int 6 & info [ "levels" ] ~docv:"N" ~doc:"Target logic levels (default 6).")
   in
   let rules = Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalogue and exit.") in
-  let run names json fail_on_warning levels rules jobs =
+  let run names json fail_on_warning levels cycle_cap rules jobs =
     if rules then Format.printf "%a" Lint.Engine.pp_catalogue ()
     else begin
       let ks =
@@ -352,13 +371,15 @@ let lint_cmd =
          runs out and print in submission order, identical output *)
       let fold_reports f init =
         if jobs <= 1 then
-          List.fold_left (fun acc k -> f acc k.Hls.Kernels.name (lint_kernel ~levels k)) init ks
+          List.fold_left
+            (fun acc k -> f acc k.Hls.Kernels.name (lint_kernel ~levels ~cycle_cap k))
+            init ks
         else
           Support.Pool.run ~jobs (fun pool ->
               ks
               |> List.map (fun k ->
                      ( k.Hls.Kernels.name,
-                       Support.Pool.submit pool (fun () -> lint_kernel ~levels k) ))
+                       Support.Pool.submit pool (fun () -> lint_kernel ~levels ~cycle_cap k) ))
               |> List.fold_left (fun acc (name, fut) -> f acc name (Support.Pool.await fut)) init)
       in
       if json then print_string "[";
@@ -386,7 +407,7 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically verify kernels: DFG structure, netlist, LUT mapping, MILP certificate.")
-    Term.(const run $ names $ json $ fail_on_warning $ levels $ rules $ jobs_arg)
+    Term.(const run $ names $ json $ fail_on_warning $ levels $ cycle_cap_arg $ rules $ jobs_arg)
 
 (* A repeated kernel name would be run (and reported) twice for no new
    information; keep the first occurrence and warn on stderr so stdout
@@ -413,17 +434,17 @@ let dedupe_kernel_names ~cli names =
    across the whole suite. [--milp] additionally solves the
    pre-characterised buffer MILP and audits its phi claims against the
    certified bound of the placement it proposed. *)
-let verify_kernel ~levels ~milp k =
+let verify_kernel ~levels ~milp ~cycle_cap k =
   let g = Dataflow.Graph.copy (Hls.Kernels.graph k) in
   ignore (Core.Flow.seed_back_edges g);
   if not milp then begin
     let cert = Analysis.Certify.certify g in
-    let _, truncated = Dataflow.Analysis.simple_cycles_capped g in
+    let _, truncated = Dataflow.Analysis.simple_cycles_capped ?limit:cycle_cap g in
     (cert, Lint.Engine.check_perf ~truncated ~phi:[] cert g)
   end
   else begin
     let model = Timing.Precharacterized.build g in
-    let cfdfcs = Buffering.Cfdfc.extract g in
+    let cfdfcs = Buffering.Cfdfc.extract ?cycle_limit:cycle_cap g in
     let truncated = List.exists (fun cf -> cf.Buffering.Cfdfc.truncated) cfdfcs in
     let cp_target = float_of_int levels *. 0.7 in
     let cfg = { Buffering.Formulation.default_config with cp_target; use_penalty = false } in
@@ -465,44 +486,64 @@ let verify_cmd =
   let levels =
     Arg.(value & opt int 6 & info [ "levels" ] ~docv:"N" ~doc:"Target logic levels (default 6).")
   in
-  let run names json milp fail_on_warning levels trace cache_dir =
+  let run names json milp fail_on_warning levels cycle_cap trace cache_dir =
     let ks =
       match dedupe_kernel_names ~cli:"regulate" names with
       | [] -> Hls.Kernels.all
       | names -> List.map Hls.Kernels.by_name names
     in
-    with_cache cache_dir @@ fun () ->
-    traced ~name:"regulate:verify" trace @@ fun () ->
-    if json then print_string "[";
-    let failed =
-      List.fold_left
-        (fun (failed, i) k ->
-          let name = k.Hls.Kernels.name in
-          let cert, r = verify_kernel ~levels ~milp k in
-          if json then begin
-            if i > 0 then print_string ",";
-            Printf.printf "{\"label\":\"%s\",\"certificate\":%s,\"report\":%s}"
-              (Lint.Diagnostic.json_escape name)
-              (Analysis.Certify.to_json cert)
-              (Lint.Engine.report_to_json r)
-          end
-          else begin
-            Format.printf "%-15s %a (Howard/Karp %s)@." name Analysis.Certify.pp cert
-              (if Analysis.Certify.karp_agrees cert then "agree" else "DISAGREE");
-            if r.Lint.Engine.diagnostics <> [] then Format.printf "  %a@." Lint.Engine.pp_report r
-          end;
-          Format.print_flush ();
-          flush stdout;
-          ( failed
-            || (not (Lint.Engine.ok r))
-            || (fail_on_warning && not (Lint.Engine.clean r))
-            || not (Analysis.Certify.karp_agrees cert),
-            i + 1 ))
-        (false, 0) ks
-      |> fst
+    (* Machine consumers must always receive the complete JSON document:
+       a kernel whose certification throws is recorded as an error entry
+       and the array is still closed before the non-zero exit, which
+       itself happens only after the trace sink (if any) is written. *)
+    let body () =
+      if json then print_string "[";
+      let failed =
+        List.fold_left
+          (fun (failed, i) k ->
+            let name = k.Hls.Kernels.name in
+            match verify_kernel ~levels ~milp ~cycle_cap k with
+            | cert, r ->
+              if json then begin
+                if i > 0 then print_string ",";
+                Printf.printf "{\"label\":\"%s\",\"certificate\":%s,\"report\":%s}"
+                  (Lint.Diagnostic.json_escape name)
+                  (Analysis.Certify.to_json cert)
+                  (Lint.Engine.report_to_json r)
+              end
+              else begin
+                Format.printf "%-15s %a (Howard/Karp %s)@." name Analysis.Certify.pp cert
+                  (if Analysis.Certify.karp_agrees cert then "agree" else "DISAGREE");
+                if r.Lint.Engine.diagnostics <> [] then
+                  Format.printf "  %a@." Lint.Engine.pp_report r
+              end;
+              Format.print_flush ();
+              flush stdout;
+              ( failed
+                || (not (Lint.Engine.ok r))
+                || (fail_on_warning && not (Lint.Engine.clean r))
+                || not (Analysis.Certify.karp_agrees cert),
+                i + 1 )
+            | exception e ->
+              let msg = Printexc.to_string e in
+              if json then begin
+                if i > 0 then print_string ",";
+                Printf.printf "{\"label\":\"%s\",\"error\":\"%s\"}"
+                  (Lint.Diagnostic.json_escape name) (Lint.Diagnostic.json_escape msg)
+              end
+              else Format.printf "%-15s ERROR: %s@." name msg;
+              Format.print_flush ();
+              flush stdout;
+              (true, i + 1))
+          (false, 0) ks
+        |> fst
+      in
+      if json then print_endline "]";
+      failed
     in
-    if json then print_endline "]";
-    if failed then exit 1
+    match with_cache cache_dir (fun () -> traced ~name:"regulate:verify" trace body) with
+    | Error _ as e -> e
+    | Ok failed -> if failed then exit 1 else Ok ()
   in
   Cmd.v
     (Cmd.info "verify"
@@ -510,7 +551,155 @@ let verify_cmd =
          "Certify kernel throughput bounds and liveness (LP-free Howard/Karp min cycle ratio); \
           with --milp, audit the MILP's claims against them.")
     (Term.term_result
-       Term.(const run $ names $ json $ milp $ fail_on_warning $ levels $ trace_arg $ cache_dir_arg))
+       Term.(
+         const run $ names $ json $ milp $ fail_on_warning $ levels $ cycle_cap_arg $ trace_arg
+         $ cache_dir_arg))
+
+(* ---- tv ---- *)
+
+(* End-to-end translation validation as a first-class surface. Runs the
+   full flow for a kernel (whose own tv gates already validate every
+   intermediate iteration), then re-checks the final netlist / AIG / LUT
+   cover triple once more to report its semantic signature and witness
+   counts alongside the wall time. *)
+let tv_kernel ~levels ~exact flavor k =
+  let config =
+    {
+      Core.Flow.default_config with
+      Core.Flow.target_levels = levels;
+      tv_exact = exact;
+      milp =
+        {
+          Core.Flow.default_config.Core.Flow.milp with
+          Buffering.Formulation.cp_target = float_of_int levels *. 0.7;
+        };
+    }
+  in
+  let g = Hls.Kernels.graph k in
+  let t0 = Unix.gettimeofday () in
+  let res =
+    match
+      match flavor with
+      | `Iterative -> Core.Flow.iterative ~config g
+      | `Baseline -> Core.Flow.baseline ~config g
+    with
+    | outcome ->
+      let ds, tv =
+        Lint.Equiv_rules.check_translation ~exact outcome.Core.Flow.net outcome.Core.Flow.lutgraph
+      in
+      Ok (Lint.Engine.of_diagnostics ds, tv)
+    | exception Lint.Engine.Lint_error report -> Error (`Lint report)
+    | exception e -> Error (`Exn (Printexc.to_string e))
+  in
+  (res, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let tv_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc:"Kernels (default: all nine).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.") in
+  let flavor =
+    let fconv = Arg.enum [ ("iterative", `Iterative); ("baseline", `Baseline); ("both", `Both) ] in
+    Arg.(
+      value & opt fconv `Both
+      & info [ "flavor" ] ~docv:"FLAVOR" ~doc:"iterative, baseline or both (default both).")
+  in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "tv-exact" ]
+          ~doc:
+            "Confirm every signature mismatch by scalar replay and exhaustive evaluation of the \
+             offending LUT cone.")
+  in
+  let levels =
+    Arg.(value & opt int 6 & info [ "levels" ] ~docv:"N" ~doc:"Target logic levels (default 6).")
+  in
+  let run names json flavor exact levels jobs trace cache_dir =
+    let ks =
+      match dedupe_kernel_names ~cli:"regulate" names with
+      | [] -> Hls.Kernels.all
+      | names -> List.map Hls.Kernels.by_name names
+    in
+    let flavors =
+      match flavor with
+      | `Both -> [ ("iterative", `Iterative); ("baseline", `Baseline) ]
+      | `Iterative -> [ ("iterative", `Iterative) ]
+      | `Baseline -> [ ("baseline", `Baseline) ]
+    in
+    let tasks = List.concat_map (fun k -> List.map (fun fl -> (k, fl)) flavors) ks in
+    let body () =
+      let results =
+        if jobs <= 1 then
+          List.map (fun (k, (fn, fl)) -> (k, fn, tv_kernel ~levels ~exact fl k)) tasks
+        else
+          Support.Pool.run ~jobs (fun pool ->
+              tasks
+              |> List.map (fun (k, (fn, fl)) ->
+                     (k, fn, Support.Pool.submit pool (fun () -> tv_kernel ~levels ~exact fl k)))
+              |> List.map (fun (k, fn, fut) -> (k, fn, Support.Pool.await fut)))
+      in
+      if json then print_string "[";
+      let failed =
+        List.fold_left
+          (fun (failed, i) (k, fn, (res, ms)) ->
+            let name = k.Hls.Kernels.name in
+            let ok = match res with Ok (r, _) -> Lint.Engine.ok r | Error _ -> false in
+            if json then begin
+              if i > 0 then print_string ",";
+              match res with
+              | Ok (r, tv) ->
+                Printf.printf
+                  "{\"label\":\"%s\",\"flavor\":\"%s\",\"ok\":%b,\"wall_ms\":%.1f,\"luts\":%d,\"cos\":%d,\"vectors\":%d,\"signature\":\"%s\",\"report\":%s}"
+                  (Lint.Diagnostic.json_escape name)
+                  fn ok ms tv.Tv.Equiv.luts_checked tv.Tv.Equiv.cos_checked tv.Tv.Equiv.vectors
+                  (Tv.Equiv.signature_hex tv) (Lint.Engine.report_to_json r)
+              | Error (`Lint r) ->
+                Printf.printf
+                  "{\"label\":\"%s\",\"flavor\":\"%s\",\"ok\":false,\"wall_ms\":%.1f,\"report\":%s}"
+                  (Lint.Diagnostic.json_escape name)
+                  fn ms (Lint.Engine.report_to_json r)
+              | Error (`Exn msg) ->
+                Printf.printf
+                  "{\"label\":\"%s\",\"flavor\":\"%s\",\"ok\":false,\"wall_ms\":%.1f,\"error\":\"%s\"}"
+                  (Lint.Diagnostic.json_escape name)
+                  fn ms (Lint.Diagnostic.json_escape msg)
+            end
+            else begin
+              (match res with
+              | Ok (r, tv) ->
+                Printf.printf "%-15s %-9s %s luts=%-5d cos=%-4d vectors=%d sig=%s %7.1f ms\n" name
+                  fn
+                  (if ok then "ok  " else "FAIL")
+                  tv.Tv.Equiv.luts_checked tv.Tv.Equiv.cos_checked tv.Tv.Equiv.vectors
+                  (Tv.Equiv.signature_hex tv) ms;
+                if not ok then Format.printf "  %a@." Lint.Engine.pp_report r
+              | Error (`Lint r) ->
+                Printf.printf "%-15s %-9s FAIL (lint gate) %7.1f ms\n" name fn ms;
+                Format.printf "  %a@." Lint.Engine.pp_report r
+              | Error (`Exn msg) -> Printf.printf "%-15s %-9s ERROR: %s %7.1f ms\n" name fn msg ms);
+              Format.print_flush ()
+            end;
+            flush stdout;
+            (failed || not ok, i + 1))
+          (false, 0) results
+        |> fst
+      in
+      if json then print_endline "]";
+      failed
+    in
+    match with_cache cache_dir (fun () -> traced ~name:"regulate:tv" trace body) with
+    | Error _ as e -> e
+    | Ok failed -> if failed then exit 1 else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "tv"
+       ~doc:
+         "Translation-validate kernels end to end: combinational equivalence \
+          (netlist/AIG/LUT-cover), label & domain soundness, and buffer-insertion refinement.")
+    (Term.term_result
+       Term.(
+         const run $ names $ json $ flavor $ exact $ levels $ jobs_arg $ trace_arg $ cache_dir_arg))
 
 (* ---- compare ---- *)
 
@@ -609,6 +798,7 @@ let () =
             flow_cmd;
             lint_cmd;
             verify_cmd;
+            tv_cmd;
             compare_cmd;
             cache_cmd;
             export_cmd;

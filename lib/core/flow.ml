@@ -12,6 +12,7 @@ type config = {
   slack_match : bool;
   balance : bool;
   lint_gates : bool;
+  tv_exact : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     slack_match = false;
     balance = false;
     lint_gates = true;
+    tv_exact = false;
   }
 
 type iteration = {
@@ -54,7 +56,8 @@ type outcome = {
   lint_stages : string list;
 }
 
-let opaque = Some { G.transparent = false; slots = 2 }
+let opaque_spec = { G.transparent = false; slots = 2 }
+let opaque = Some opaque_spec
 
 let seed_back_edges g =
   (* the front end's explicit loop-carried channels when available; the
@@ -133,6 +136,21 @@ let run_gate config audit ~stage check =
     audit.a_stages <- stage :: audit.a_stages
   end
 
+(* Translation-validation gates (the equiv-* rules). The signature pass
+   is cheap (a few 64-lane simulation rounds per representation) and
+   runs on every synthesised artefact; [tv_exact] additionally replays
+   every witness through the scalar oracles. The [flow:tv] span bounds
+   the whole family, so the CI budget guard can hold the validator
+   under a fixed share of flow wall time. *)
+let tv_gate config audit ~stage net lg =
+  run_gate config audit ~stage (fun () ->
+      Trace.with_span "flow:tv" (fun () ->
+          Lint.Engine.check_translation ~exact:config.tv_exact ~k:config.lut_k net lg))
+
+let refine_gate config audit ~stage ~base ~buffered ~allowed =
+  run_gate config audit ~stage (fun () ->
+      Trace.with_span "flow:tv" (fun () -> Lint.Engine.check_refinement ~base ~buffered ~allowed))
+
 (* The LP-free performance oracle: right after each MILP solve, the
    candidate placement is certified (min cycle ratio by Howard with a
    Karp cross-check, marked-graph liveness) and the [perf] gate
@@ -181,6 +199,10 @@ let iterative ?(config = default_config) input =
       | _ -> synth_map config g
     in
     run_gate config audit ~stage:"netlist" (fun () -> Lint.Engine.check_netlist g net);
+    (* every iteration's netlist/AIG/cover triple is validated, whether
+       it came from a fresh synthesis, the previous iteration's reuse
+       path, or a warm artifact-cache hit *)
+    tv_gate config audit ~stage:"tv" net lg;
     (* optional routing awareness (§VI future work): fold estimated wire
        delays from a quick placement into each LUT's delay *)
     let lut_extra =
@@ -222,6 +244,9 @@ let iterative ?(config = default_config) input =
             ~buffered:placement.Buffering.Formulation.all_buffered model
             placement.Buffering.Formulation.lp placement.Buffering.Formulation.solution);
       let candidate = apply_buffers g (placement.Buffering.Formulation.new_buffers) in
+      refine_gate config audit ~stage:"tv-buffer" ~base:g ~buffered:candidate
+        ~allowed:
+          (List.map (fun c -> (c, opaque_spec)) placement.Buffering.Formulation.new_buffers);
       let cert, milp_phi = certify_placement config audit ~cfdfcs ~placement candidate in
       let cand_net, cand_lg = synth_map config candidate in
       let achieved = cand_lg.Techmap.Lutgraph.max_level in
@@ -252,12 +277,25 @@ let iterative ?(config = default_config) input =
            synthesis whose level count and mapping the outcome reports —
            otherwise [final_levels] and the measured circuit disagree. *)
         let cand_net, cand_lg =
-          if
-            config.slack_match
-            && Trace.with_span "flow:slack" (fun () -> Buffering.Slack.apply candidate) > 0
-          then synth_map config candidate
+          if config.slack_match then begin
+            let before = G.copy candidate in
+            let pads =
+              Trace.with_span "flow:slack" (fun () -> Buffering.Slack.compute candidate)
+            in
+            if pads = [] then (cand_net, cand_lg)
+            else begin
+              let allowed =
+                List.map (fun (cid, slots) -> (cid, { G.transparent = true; slots })) pads
+              in
+              List.iter (fun (cid, spec) -> G.set_buffer candidate cid (Some spec)) allowed;
+              refine_gate config audit ~stage:"tv-slack" ~base:before ~buffered:candidate
+                ~allowed;
+              synth_map config candidate
+            end
+          end
           else (cand_net, cand_lg)
         in
+        tv_gate config audit ~stage:"tv-final" cand_net cand_lg;
         let final_levels = cand_lg.Techmap.Lutgraph.max_level in
         run_gate config audit ~stage:"final-dfg" (fun () ->
             Lint.Engine.check_graph candidate);
@@ -308,8 +346,13 @@ let baseline ?(config = default_config) input =
           ~buffered:placement.Buffering.Formulation.all_buffered model
           placement.Buffering.Formulation.lp placement.Buffering.Formulation.solution);
     let final = apply_buffers g placement.Buffering.Formulation.new_buffers in
+    refine_gate config audit ~stage:"tv-buffer" ~base:g ~buffered:final
+      ~allowed:(List.map (fun c -> (c, opaque_spec)) placement.Buffering.Formulation.new_buffers);
     let cert, milp_phi = certify_placement config audit ~cfdfcs ~placement final in
     let final_net, final_lg = synth_map config final in
+    (* the baseline synthesises once, at the end: its single tv gate
+       validates that final netlist/AIG/cover triple *)
+    tv_gate config audit ~stage:"tv" final_net final_lg;
     let achieved = final_lg.Techmap.Lutgraph.max_level in
     (* the same closing gate the iterative flow runs: both flavors audit
        their result graph, not just their inputs and MILP artefacts *)

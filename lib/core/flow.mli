@@ -36,6 +36,12 @@ type config = {
       (** audit every stage with the {!module:Lint} rule set: errors
           abort the run with {!Lint.Engine.Lint_error}, warnings and
           infos are collected into {!outcome.lint} (on by default) *)
+  tv_exact : bool;
+      (** translation-validation gates confirm every signature-mismatch
+          witness by scalar replay and exhaustive evaluation of the
+          offending cone (the [--tv-exact] CLI flag; off by default —
+          the cheap 64-lane signature pass always runs when
+          [lint_gates] is on) *)
 }
 
 val default_config : config

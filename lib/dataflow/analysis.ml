@@ -101,7 +101,20 @@ let topo_order g =
   done;
   List.rev !order
 
-let simple_cycles_capped ?(limit = 512) g =
+(* The enumeration cap is configurable process-wide through the
+   REPRO_CYCLE_CAP environment variable (the `--cycle-cap` CLI flag
+   sets an explicit [limit] instead); the hard-coded defaults only apply
+   when neither is given. *)
+let cycle_cap ~default =
+  match Sys.getenv_opt "REPRO_CYCLE_CAP" with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= 1 -> v
+    | Some _ | None -> default)
+
+let simple_cycles_capped ?limit g =
+  let limit = match limit with Some l -> l | None -> cycle_cap ~default:512 in
   let n = Graph.n_units g in
   let cycles = ref [] in
   let count = ref 0 in

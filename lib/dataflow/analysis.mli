@@ -15,11 +15,18 @@ val back_edges : Graph.t -> Graph.channel_id list
 (** Channels whose removal breaks all cycles (DFS back edges from the
     entry units). These are where the flow seeds its initial buffers. *)
 
+val cycle_cap : default:int -> int
+(** The simple-cycle enumeration cap: the [REPRO_CYCLE_CAP] environment
+    variable when set to a positive integer, [default] otherwise. Every
+    enumeration that is not given an explicit [limit] (here and in
+    CFDFC extraction) resolves its cap through this, so one environment
+    variable retunes the whole flow. *)
+
 val simple_cycles : ?limit:int -> Graph.t -> Graph.channel_id list list
 (** Johnson-style enumeration of simple cycles, each as a channel list,
-    capped at [limit] (default 512) cycles to stay tractable. Truncation
-    is silent; callers that must know whether the enumeration was
-    exhaustive use {!simple_cycles_capped}. *)
+    capped at [limit] (default [cycle_cap ~default:512]) cycles to stay
+    tractable. Truncation is silent; callers that must know whether the
+    enumeration was exhaustive use {!simple_cycles_capped}. *)
 
 val simple_cycles_capped : ?limit:int -> Graph.t -> Graph.channel_id list list * bool
 (** Like {!simple_cycles}, plus a flag that is [true] when the [limit]

@@ -55,6 +55,12 @@ let check_milp ~cp_target ~buffered model lp x =
 let check_perf ?eps ?truncated ~phi cert g =
   of_diagnostics (Perf_rules.check ?eps ?truncated ~phi cert g)
 
+let check_translation ?vectors ?seed ?exact ?k net lg =
+  of_diagnostics (fst (Equiv_rules.check_translation ?vectors ?seed ?exact ?k net lg))
+
+let check_refinement ~base ~buffered ~allowed =
+  of_diagnostics (Equiv_rules.check_refinement ~base ~buffered ~allowed)
+
 let pp_report fmt r =
   if r.diagnostics = [] then Fmt.pf fmt "lint: clean"
   else begin
@@ -86,6 +92,7 @@ let catalogue () =
   ignore Lut_rules.rules;
   ignore Milp_rules.rules;
   ignore Perf_rules.rules;
+  ignore Equiv_rules.rules;
   Rule.all ()
 
 let pp_catalogue fmt () =

@@ -58,6 +58,26 @@ val check_perf :
 (** The MILP's throughput claims vs. the independent certificate; see
     {!Perf_rules.check}. *)
 
+val check_translation :
+  ?vectors:int ->
+  ?seed:int ->
+  ?exact:bool ->
+  ?k:int ->
+  Net.t ->
+  Techmap.Lutgraph.t ->
+  report
+(** The translation validator's equivalence and label/domain soundness
+    passes over a synthesised + mapped circuit; see
+    {!Equiv_rules.check_translation}. *)
+
+val check_refinement :
+  base:Dataflow.Graph.t ->
+  buffered:Dataflow.Graph.t ->
+  allowed:(Dataflow.Graph.channel_id * Dataflow.Graph.buffer_spec) list ->
+  report
+(** The buffer-insertion refinement pass; see
+    {!Equiv_rules.check_refinement}. *)
+
 (** {2 Rendering} *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,4 +1,4 @@
-type target = Dfg | Netlist | Lut_mapping | Milp | Perf
+type target = Dfg | Netlist | Lut_mapping | Milp | Perf | Tv
 
 let target_name = function
   | Dfg -> "dfg"
@@ -6,8 +6,15 @@ let target_name = function
   | Lut_mapping -> "lut-mapping"
   | Milp -> "milp"
   | Perf -> "perf"
+  | Tv -> "tv"
 
-let target_rank = function Dfg -> 0 | Netlist -> 1 | Lut_mapping -> 2 | Milp -> 3 | Perf -> 4
+let target_rank = function
+  | Dfg -> 0
+  | Netlist -> 1
+  | Lut_mapping -> 2
+  | Milp -> 3
+  | Perf -> 4
+  | Tv -> 5
 
 type info = {
   id : string;

@@ -13,6 +13,7 @@ type target =
   | Lut_mapping  (** LUT-to-DFG mapping + timing model (§IV) *)
   | Milp         (** MILP solution certificate *)
   | Perf         (** throughput & liveness certificate vs. the MILP's claims *)
+  | Tv           (** translation validation: stage-by-stage equivalence *)
 
 val target_name : target -> string
 

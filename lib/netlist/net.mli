@@ -70,6 +70,13 @@ val or_list : t -> owner:int -> dom:domain -> int list -> int
 val ff : t -> owner:int -> dom:domain -> ?init:bool -> unit -> int
 (** Flip-flop; connect its D input later with {!connect}. *)
 
+val clone_map_kind : t -> (gate -> kind) -> t
+(** Structural copy with every gate's kind rewritten by the callback
+    (gate ids, fanins, owners and domains are preserved). The new kind
+    must keep the gate's arity or {!validate} will reject the clone.
+    Used by the translation validator's mutation harness to inject
+    seeded gate flips. *)
+
 val inputs : t -> int list
 val outputs : t -> int list
 val ffs : t -> int list

@@ -1,0 +1,26 @@
+(** Label & domain soundness pass of the translation validator.
+
+    Recomputes every LUT's input cone with an independent walk and
+    checks that (a) the recorded owner names a unit that actually
+    contributes at least one cone node (owner [-1], "undetermined", is
+    exempt — it has its own lint rule) and (b) the recorded timing
+    domain is the join of the cone gates' domains (equal domains, or
+    [Mixed] when they span domains). Both properties feed the
+    [|X_fake(c)|/|X(c)|] penalty of Eq. 3, so violations corrupt the
+    MILP objective silently. *)
+
+type violation =
+  | Owner_unsound of { lut : int; owner : int; cone_units : int list }
+  | Domain_inconsistent of { lut : int; dom : Net.domain; expect : Net.domain }
+
+val check : Techmap.Lutgraph.t -> violation list
+
+val cone : Techmap.Aig.t -> Techmap.Lutgraph.lut -> int list
+(** The AIG nodes strictly inside a LUT's cut (stops at leaves and at
+    constant node 0), recomputed independently of the mapper. *)
+
+val cone_units : Techmap.Aig.t -> int list -> int list
+(** Sorted, deduplicated owners of a cone's nodes. *)
+
+val cone_dom : Techmap.Aig.t -> int list -> Net.domain
+(** Join of the cone nodes' domains ([Data] for an empty cone). *)

@@ -1,0 +1,71 @@
+(* Pass 3 of the translation validator: buffer-insertion refinement.
+   After the MILP (or the slack-matching post-pass) picks channels, the
+   only legal difference between the input DFG and the buffered DFG is
+   buffer annotations on exactly the selected channels, with the
+   selected slot/transparency fields. Anything else — a buffer the
+   solver never asked for, a dropped buffer, tampered slots, a changed
+   unit or channel — breaks the refinement and invalidates both the
+   throughput certificate and the timing model. *)
+
+module G = Dataflow.Graph
+
+type violation =
+  | Shape_changed of { detail : string }
+  | Buffer_added of { channel : int; spec : G.buffer_spec }
+  | Buffer_removed of { channel : int }
+  | Buffer_mismatch of { channel : int; got : G.buffer_spec; want : G.buffer_spec }
+
+let spec_str (s : G.buffer_spec) =
+  Printf.sprintf "%s/%d slots" (if s.G.transparent then "transparent" else "opaque") s.G.slots
+
+let check ~base ~buffered ~allowed =
+  Support.Trace.with_span ~cat:"tv" "tv:refine" @@ fun () ->
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  if G.n_units base <> G.n_units buffered then
+    add
+      (Shape_changed
+         {
+           detail =
+             Printf.sprintf "unit count changed: %d -> %d" (G.n_units base)
+               (G.n_units buffered);
+         })
+  else if G.n_channels base <> G.n_channels buffered then
+    add
+      (Shape_changed
+         {
+           detail =
+             Printf.sprintf "channel count changed: %d -> %d" (G.n_channels base)
+               (G.n_channels buffered);
+         })
+  else begin
+    for u = 0 to G.n_units base - 1 do
+      let nb = G.unit_node base u and nf = G.unit_node buffered u in
+      if
+        nb.G.kind <> nf.G.kind || nb.G.label <> nf.G.label || nb.G.bb <> nf.G.bb
+        || nb.G.width <> nf.G.width
+      then
+        add (Shape_changed { detail = Printf.sprintf "unit %d (%s) changed" u nb.G.label })
+    done;
+    for c = 0 to G.n_channels base - 1 do
+      let cb = G.channel base c and cf = G.channel buffered c in
+      if
+        cb.G.src <> cf.G.src || cb.G.dst <> cf.G.dst || cb.G.src_port <> cf.G.src_port
+        || cb.G.dst_port <> cf.G.dst_port
+      then add (Shape_changed { detail = Printf.sprintf "channel %d rewired" c })
+      else begin
+        let want =
+          match List.assoc_opt c allowed with Some spec -> Some spec | None -> cb.G.buffer
+        in
+        match (want, cf.G.buffer) with
+        | None, None -> ()
+        | Some w, Some g when w = g -> ()
+        | None, Some spec -> add (Buffer_added { channel = c; spec })
+        | Some _, None -> add (Buffer_removed { channel = c })
+        | Some want, Some got -> add (Buffer_mismatch { channel = c; got; want })
+      end
+    done
+  end;
+  let vs = List.rev !violations in
+  Support.Trace.add "tv.refine.violations" (List.length vs);
+  vs

@@ -1,0 +1,28 @@
+(** Buffer-insertion refinement pass of the translation validator.
+
+    [check ~base ~buffered ~allowed] verifies that [buffered] differs
+    from [base] only by buffer annotations on exactly the channels in
+    [allowed], each carrying exactly the selected
+    {!Dataflow.Graph.buffer_spec} (slots and transparency). Identical
+    topology is required: same units (kind, label, basic block, width)
+    and same channel endpoints. Buffers of [base] not mentioned in
+    [allowed] must survive unchanged. *)
+
+type violation =
+  | Shape_changed of { detail : string }
+  | Buffer_added of { channel : int; spec : Dataflow.Graph.buffer_spec }
+      (** a buffer the selection never asked for *)
+  | Buffer_removed of { channel : int }
+  | Buffer_mismatch of {
+      channel : int;
+      got : Dataflow.Graph.buffer_spec;
+      want : Dataflow.Graph.buffer_spec;
+    }
+
+val spec_str : Dataflow.Graph.buffer_spec -> string
+
+val check :
+  base:Dataflow.Graph.t ->
+  buffered:Dataflow.Graph.t ->
+  allowed:(Dataflow.Graph.channel_id * Dataflow.Graph.buffer_spec) list ->
+  violation list

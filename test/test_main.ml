@@ -15,6 +15,7 @@ let () =
       ("placeroute", Test_placeroute.suite);
       ("core", Test_core.suite);
       ("lint", Test_lint.suite);
+      ("tv", Test_tv.suite);
       ("analysis", Test_analysis.suite);
       ("endtoend", Test_endtoend.suite);
       ("regressions", Test_regressions.suite);

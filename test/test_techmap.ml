@@ -255,6 +255,150 @@ let test_cross_unit_merging () =
   (* sources are constant-valid: everything folds away completely *)
   check Alcotest.bool "constant folding ate the joins" true (Lutgraph.n_luts lg <= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Truth-table boundaries at K = 6. *)
+
+(* A 6-input XOR chain: the deepest all-variables cut a K=6 mapper can
+   legally pick. Every LUT's table is checked exhaustively against the
+   AIG (all 2^|leaves| assignments), and at least one LUT must actually
+   sit on the 6-leaf boundary. *)
+let parity_net n =
+  let net = Net.create "parity" in
+  let ins =
+    Array.init n (fun i -> Net.input net ~owner:0 ~dom:Net.Data (Printf.sprintf "x%d" i))
+  in
+  let y = Array.fold_left (fun acc i -> Net.xor2 net ~owner:0 acc i) ins.(0) (Array.sub ins 1 (n - 1)) in
+  ignore (Net.output net ~owner:0 "y" y);
+  net
+
+let check_tables_vs_aig synth lg =
+  Array.iter
+    (fun l ->
+      let leaves = l.Lutgraph.leaves in
+      let tbl = Techmap.Truth.lut_table lg l.Lutgraph.lid in
+      let cases = 1 lsl Array.length leaves in
+      for idx = 0 to cases - 1 do
+        let leaf_value n =
+          let rec find j = j < Array.length leaves && (leaves.(j) = n || find (j + 1)) in
+          let rec pos j = if leaves.(j) = n then j else pos (j + 1) in
+          if find 0 then idx land (1 lsl pos 0) <> 0 else false
+        in
+        let values = Aig.eval synth.Synth.aig leaf_value in
+        let expect = values.(l.Lutgraph.root) in
+        let got = Int64.logand (Int64.shift_right_logical tbl idx) 1L = 1L in
+        if got <> expect then
+          Alcotest.failf "lut %d table bit %d: table says %b, AIG says %b" l.Lutgraph.lid idx got
+            expect
+      done)
+    lg.Lutgraph.luts
+
+let test_truth_all_vars () =
+  let net = parity_net 6 in
+  let synth = Synth.run net in
+  let lg = Mapper.run synth in
+  check Alcotest.bool "some LUT uses all six inputs" true
+    (Array.exists (fun l -> Array.length l.Lutgraph.leaves = 6) lg.Lutgraph.luts);
+  check_tables_vs_aig synth lg;
+  (* parity is symmetric, so a 6-leaf table must be the parity constant
+     regardless of how the mapper ordered the leaves *)
+  Array.iter
+    (fun l ->
+      if Array.length l.Lutgraph.leaves = 6 then begin
+        let popcount_odd i =
+          let rec go i acc = if i = 0 then acc else go (i lsr 1) (acc <> (i land 1 = 1)) in
+          go i false
+        in
+        let expect = ref 0L in
+        for idx = 0 to 63 do
+          if popcount_odd idx then expect := Int64.logor !expect (Int64.shift_left 1L idx)
+        done;
+        let tbl = Techmap.Truth.lut_table lg l.Lutgraph.lid in
+        if tbl <> !expect && tbl <> Int64.lognot !expect then
+          Alcotest.failf "6-leaf parity table %Lx is neither parity nor its complement" tbl
+      end)
+    lg.Lutgraph.luts
+
+(* x & ~x folds to constant false during synthesis: the cover is empty
+   and the CO is the constant literal, which the mapper must survive. *)
+let test_truth_constant_cone () =
+  let net = Net.create "const" in
+  let x = Net.input net ~owner:0 ~dom:Net.Data "x" in
+  let nx = Net.not_ net ~owner:0 x in
+  let y = Net.and2 net ~owner:0 x nx in
+  ignore (Net.output net ~owner:0 "y" y);
+  let synth = Synth.run net in
+  let lg = Mapper.run synth in
+  check Alcotest.int "constant cone maps to zero LUTs" 0 (Lutgraph.n_luts lg);
+  List.iter
+    (fun (_, _, lit) -> check Alcotest.int "CO folded to const false" Aig.lit_false lit)
+    (Aig.cos synth.Synth.aig);
+  (* and the translation validator accepts the constant cover *)
+  let r = Tv.Equiv.run net lg in
+  check Alcotest.int "tv accepts constant CO" 0 (List.length r.Tv.Equiv.mismatches)
+
+let with_leaves lg f =
+  {
+    lg with
+    Lutgraph.luts =
+      Array.map (fun l -> { l with Lutgraph.leaves = f l (Array.copy l.Lutgraph.leaves) }) lg.Lutgraph.luts;
+  }
+
+(* A duplicated leaf is not a legal cut: [lut_table] still evaluates it
+   (last assignment wins), but the validator's structural audit rejects
+   the cover before trusting any table built from it. *)
+let test_truth_duplicate_leaves () =
+  let _, net, _, lg = map_fig2 () in
+  let victim =
+    Array.to_list lg.Lutgraph.luts
+    |> List.find_opt (fun l -> Array.length l.Lutgraph.leaves >= 2)
+  in
+  match victim with
+  | None -> Alcotest.fail "fixture has no multi-leaf LUT"
+  | Some v ->
+    let lg' =
+      with_leaves lg (fun l leaves ->
+          if l.Lutgraph.lid = v.Lutgraph.lid then leaves.(1) <- leaves.(0);
+          leaves)
+    in
+    let r = Tv.Equiv.run net lg' in
+    let structural =
+      List.exists
+        (function
+          | Tv.Equiv.Cover_structural { lut; reason } ->
+            lut = v.Lutgraph.lid
+            && (let lower = String.lowercase_ascii reason in
+                let rec has i =
+                  i + 9 <= String.length lower && (String.sub lower i 9 = "duplicate" || has (i + 1))
+                in
+                has 0)
+          | _ -> false)
+        r.Tv.Equiv.mismatches
+    in
+    check Alcotest.bool "duplicate leaf rejected structurally" true structural
+
+(* More than 6 leaves is outside the table representation entirely. *)
+let test_truth_oversized_cut () =
+  let _, net, _, lg = map_fig2 () in
+  let victim =
+    Array.to_list lg.Lutgraph.luts |> List.find (fun l -> Array.length l.Lutgraph.leaves >= 1)
+  in
+  let lg' =
+    with_leaves lg (fun l leaves ->
+        if l.Lutgraph.lid = victim.Lutgraph.lid then
+          Array.init 7 (fun i -> leaves.(i mod Array.length leaves))
+        else leaves)
+  in
+  (match Techmap.Truth.lut_table lg' victim.Lutgraph.lid with
+  | _ -> Alcotest.fail "lut_table accepted a 7-leaf cut"
+  | exception Invalid_argument _ -> ());
+  let r = Tv.Equiv.run net lg' in
+  check Alcotest.bool "oversized cut rejected structurally" true
+    (List.exists
+       (function
+         | Tv.Equiv.Cover_structural { lut; _ } -> lut = victim.Lutgraph.lid
+         | _ -> false)
+       r.Tv.Equiv.mismatches)
+
 let suite =
   [
     ("aig constant folding", `Quick, test_aig_folding);
@@ -271,4 +415,8 @@ let suite =
     ("cross-unit merging", `Quick, test_cross_unit_merging);
     qtest prop_levels_bounded_by_depth;
     ("map cover closed", `Quick, test_map_cover_closed);
+    ("truth k=6 all-vars tables", `Quick, test_truth_all_vars);
+    ("truth constant cone", `Quick, test_truth_constant_cone);
+    ("truth duplicate leaves", `Quick, test_truth_duplicate_leaves);
+    ("truth oversized cut", `Quick, test_truth_oversized_cut);
   ]
