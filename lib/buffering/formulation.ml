@@ -26,7 +26,7 @@ type placement = {
   solution : float array;
 }
 
-let solve cfg g (model : M.t) cfdfcs =
+let solve ?warm cfg g (model : M.t) cfdfcs =
   let lp = Milp.Lp.create (G.name g ^ "_buffering") in
   let cp = cfg.cp_target in
   let unfixable = ref 0 in
@@ -140,30 +140,151 @@ let solve cfg g (model : M.t) cfdfcs =
          r_vars [])
   in
   Milp.Lp.set_objective lp ~maximize:true obj;
-  let run_solver () =
-    (* Rounding heuristic: buffer-everywhere directions are always
-       CP-feasible, so rounding the relaxation's fractional R up and
-       re-solving the continuous rest yields a feasible incumbent that
-       lets branch & bound prune from the start. *)
-    let initial =
-      match Milp.Simplex.solve lp with
-      | Milp.Simplex.Optimal { x; _ } ->
-        let saved = Hashtbl.fold (fun c v acc -> (c, v, Milp.Lp.bounds lp v) :: acc) r_vars [] in
-        List.iter
-          (fun (_, v, _) ->
-            let r = if x.(v) > 1e-4 then 1. else 0. in
-            Milp.Lp.set_bounds lp v ~lo:r ~hi:r)
-          saved;
-        let result =
-          match Milp.Simplex.solve lp with
-          | Milp.Simplex.Optimal { x = x0; _ } -> Some x0
-          | _ -> None
+  (* ---- LP-free certified ceiling ----
+     Per CFDFC, Howard's minimum cycle ratio on the subgraph with
+     tokens as cost and [latency + 1 per opaque buffer] as time:
+     telescoping the retiming rows around any cycle C gives
+     [theta * (L(C) + buffers(C)) <= tokens(C)], and a channel whose
+     [R_c] is forced to 1 — pre-existing in the graph or pinned by a
+     branch & bound fix — is opaque in every feasible point of the
+     node's box, so the minimum ratio is a sound upper bound on theta
+     throughout the subtree. Combined with the forced R_c's objective
+     cost this bounds the objective of any node box without touching
+     the LP — branch & bound fathoms against it. *)
+  let cert_graphs =
+    List.map
+      (fun (cf : Cfdfc.t) ->
+        let idx = Hashtbl.create 16 in
+        List.iteri (fun i u -> Hashtbl.replace idx u i) cf.Cfdfc.units;
+        let back = Hashtbl.create 8 in
+        List.iter (fun c -> Hashtbl.replace back c ()) cf.Cfdfc.back_edges;
+        let edges =
+          List.filter_map
+            (fun cid ->
+              let c = G.channel g cid in
+              match (Hashtbl.find_opt idx c.G.src, Hashtbl.find_opt idx c.G.dst) with
+              | Some s, Some d ->
+                Some
+                  ( cid,
+                    {
+                      Analysis.Cycle_ratio.e_src = s;
+                      e_dst = d;
+                      e_cost = (if Hashtbl.mem back cid then 1 else 0);
+                      e_time = K.latency (G.unit_node g c.G.src).G.kind;
+                      e_id = cid;
+                    } )
+              | _ -> None)
+            cf.Cfdfc.channels
         in
-        List.iter (fun (_, v, (lo, hi)) -> Milp.Lp.set_bounds lp v ~lo ~hi) saved;
-        result
+        (List.length cf.Cfdfc.units, edges))
+      cfdfcs
+  in
+  let theta_cap forced (n_nodes, edges) =
+    let graph =
+      {
+        Analysis.Cycle_ratio.n_nodes;
+        edges =
+          List.map
+            (fun (cid, e) ->
+              if Hashtbl.mem forced cid then
+                { e with Analysis.Cycle_ratio.e_time = e.Analysis.Cycle_ratio.e_time + 1 }
+              else e)
+            edges;
+      }
+    in
+    (* a zero-time cycle (no latency, no forced buffer yet) will take
+       its mandatory buffer only once the MILP decides where: fall back
+       to the variable bound, which is always sound *)
+    match Analysis.Cycle_ratio.howard graph with
+    | Some (w, _) -> Float.max 0. (Float.min 1. w.Analysis.Cycle_ratio.ratio)
+    | None -> 1.
+    | exception Invalid_argument _ -> 1.
+  in
+  let r_cost = Hashtbl.create 64 in
+  let chan_of_rvar = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun c v ->
+      let pen = if cfg.use_penalty then model.M.penalty.(c) else 0. in
+      Hashtbl.replace r_cost v (cfg.beta *. (1. +. pen));
+      Hashtbl.replace chan_of_rvar v c)
+    r_vars;
+  let base_forced =
+    Hashtbl.fold
+      (fun c v acc -> if fst (Milp.Lp.bounds lp v) >= 0.5 then (c, v) :: acc else acc)
+      r_vars []
+  in
+  let cert_bound fixes =
+    (* channels opaque in every feasible completion of this node *)
+    let forced_chans = Hashtbl.create 16 and forced_vars = Hashtbl.create 16 in
+    List.iter
+      (fun (c, v) ->
+        Hashtbl.replace forced_chans c ();
+        Hashtbl.replace forced_vars v ())
+      base_forced;
+    List.iter
+      (fun (v, lo, _) ->
+        match Hashtbl.find_opt chan_of_rvar v with
+        | Some c when lo >= 0.5 ->
+          Hashtbl.replace forced_chans c ();
+          Hashtbl.replace forced_vars v ()
+        | _ -> ())
+      fixes;
+    let thetas =
+      List.fold_left (fun acc cg -> acc +. theta_cap forced_chans cg) 0. cert_graphs
+    in
+    Hashtbl.fold
+      (fun v () acc -> acc -. Hashtbl.find r_cost v)
+      forced_vars
+      (cfg.alpha *. thetas)
+  in
+  let run_solver () =
+    (* temporarily pin every R_c to [choose]'s verdict, solve the
+       continuous rest, restore the bounds *)
+    let with_fixed_rs choose k =
+      let saved = Hashtbl.fold (fun c v acc -> (c, v, Milp.Lp.bounds lp v) :: acc) r_vars [] in
+      List.iter
+        (fun (c, v, _) ->
+          let r = if choose c v then 1. else 0. in
+          Milp.Lp.set_bounds lp v ~lo:r ~hi:r)
+        saved;
+      let result = k () in
+      List.iter (fun (_, v, (lo, hi)) -> Milp.Lp.set_bounds lp v ~lo ~hi) saved;
+      result
+    in
+    (* one root relaxation; its basis warm-starts the incumbent solve
+       below and branch & bound's own root (structurally the same model,
+       only bounds move) *)
+    let relax, root_basis = Milp.Simplex.solve_basis lp in
+    let solve_fixed () =
+      match Milp.Simplex.solve ?warm:root_basis lp with
+      | Milp.Simplex.Optimal { x = x0; _ } -> Some x0
       | _ -> None
     in
-    Milp.Bb.solve ~node_limit:cfg.node_limit ?initial lp
+    (* Incumbent seed, best first: the previous flow iteration's
+       placement re-priced under this iteration's timing model (usually
+       near-optimal, and exactly optimal once the flow has converged);
+       otherwise the rounding heuristic — buffer-everywhere directions
+       are always CP-feasible, so rounding the relaxation's fractional R
+       up and re-solving the continuous rest yields a feasible incumbent
+       that lets branch & bound prune from the start. *)
+    let seeded =
+      match warm with
+      | None -> None
+      | Some buffered ->
+        let member = Hashtbl.create 64 in
+        List.iter (fun c -> Hashtbl.replace member c ()) buffered;
+        with_fixed_rs
+          (fun c v -> Hashtbl.mem member c || fst (Milp.Lp.bounds lp v) >= 0.5)
+          solve_fixed
+    in
+    let initial =
+      match (seeded, relax) with
+      | (Some _ as s), _ -> s
+      | None, Milp.Simplex.Optimal { x; _ } ->
+        with_fixed_rs (fun _ v -> x.(v) > 1e-4) solve_fixed
+      | None, _ -> None
+    in
+    Milp.Bb.solve ~node_limit:cfg.node_limit ?initial ?warm:root_basis ~cert_bound lp
   in
   (* The solved assignment is memoized on the canonical hash of the
      formulation itself (plus the search budget): a warm run skips both
@@ -175,7 +296,21 @@ let solve cfg g (model : M.t) cfdfcs =
   let bb_result =
     if Cache.Control.enabled () then
       let key =
-        Cache.Hash.combine [ Cache.Hash.lp lp; Printf.sprintf "node_limit=%d" cfg.node_limit ]
+        (* the warm hint participates in the key: among equal-objective
+           optima branch & bound returns the first one found, which a
+           different incumbent seed can legitimately change — the cache
+           must not serve a differently-seeded run's assignment *)
+        Cache.Hash.combine
+          ([ Cache.Hash.lp lp; Printf.sprintf "node_limit=%d" cfg.node_limit ]
+          @
+          match warm with
+          | None -> []
+          | Some buffered ->
+            [
+              "warm="
+              ^ String.concat ","
+                  (List.map string_of_int (List.sort_uniq compare buffered));
+            ])
       in
       Cache.Control.memo ~kind:"milp" ~key run_solver
     else run_solver ()
@@ -183,6 +318,8 @@ let solve cfg g (model : M.t) cfdfcs =
   match bb_result with
   | Milp.Bb.Infeasible -> Error "buffer MILP infeasible"
   | Milp.Bb.Unbounded -> Error "buffer MILP unbounded"
+  | Milp.Bb.Exhausted ->
+    Error "buffer MILP node budget exhausted before any feasible placement was found"
   | Milp.Bb.Optimal { obj; x; proved_optimal; _ } ->
     let all_buffered =
       Hashtbl.fold (fun c v acc -> if x.(v) > 0.5 then c :: acc else acc) r_vars []

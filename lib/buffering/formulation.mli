@@ -45,4 +45,17 @@ type placement = {
 }
 
 val solve :
-  config -> Dataflow.Graph.t -> Timing.Model.t -> Cfdfc.t list -> (placement, string) result
+  ?warm:Dataflow.Graph.channel_id list ->
+  config ->
+  Dataflow.Graph.t ->
+  Timing.Model.t ->
+  Cfdfc.t list ->
+  (placement, string) result
+(** [warm] is the previous flow iteration's [all_buffered] placement: it
+    is re-priced under the current model (every listed [R_c] pinned to
+    1, the rest to 0, one warm-started LP over the continuous variables)
+    and, when feasible, seeds branch & bound's incumbent in place of the
+    rounding heuristic. The branch & bound additionally fathoms nodes
+    against an LP-free certified objective ceiling built from Howard's
+    minimum cycle ratio per CFDFC ({!Analysis.Cycle_ratio}), and
+    reports [Bb.Exhausted] budget exhaustion as a distinct error. *)

@@ -193,7 +193,7 @@ let iterative ?(config = default_config) input =
        synth+map again (independent of the on-disk cache). *)
     let net, lg =
       match prev with
-      | Some (prev_buffered, prev_net, prev_lg) when sorted_buffered g = prev_buffered ->
+      | Some (prev_buffered, prev_net, prev_lg, _) when sorted_buffered g = prev_buffered ->
         Trace.add "flow.synthmap.reused" 1;
         (prev_net, prev_lg)
       | _ -> synth_map config g
@@ -236,7 +236,14 @@ let iterative ?(config = default_config) input =
     run_gate config audit ~stage:"lut-mapping" (fun () ->
         Lint.Engine.check_mapping g lg tg model);
     let cfdfcs = Buffering.Cfdfc.extract g in
-    match Trace.with_span "flow:milp" (fun () -> Buffering.Formulation.solve config.milp g model cfdfcs) with
+    (* the previous iteration's placement seeds this iteration's MILP
+       incumbent (once the flow converges the seed is already optimal
+       and branch & bound terminates on the certified bound) *)
+    let milp_warm = match prev with Some (_, _, _, w) -> Some w | None -> None in
+    match
+      Trace.with_span "flow:milp" (fun () ->
+          Buffering.Formulation.solve ?warm:milp_warm config.milp g model cfdfcs)
+    with
     | Error msg -> failwith ("Flow.iterative: " ^ msg)
     | Ok placement ->
       run_gate config audit ~stage:"milp" (fun () ->
@@ -319,7 +326,11 @@ let iterative ?(config = default_config) input =
       else
         `Continue
           ( List.sort_uniq compare (fixed @ kept),
-            Some (sorted_buffered candidate, cand_net, cand_lg) )
+            Some
+              ( sorted_buffered candidate,
+                cand_net,
+                cand_lg,
+                placement.Buffering.Formulation.all_buffered ) )
   in
   let rec iterate it fixed prev =
     match Trace.with_span "flow:iteration" (fun () -> step it fixed prev) with

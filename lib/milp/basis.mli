@@ -1,0 +1,46 @@
+(** Factorised simplex basis: sparse product-form factorisation with
+    singleton triangularisation, updated by further eta vectors between
+    refactorisations.
+
+    The basis matrix [B] is the [m x m] submatrix of the (column-sparse)
+    constraint matrix selected by the basic variables. {!factorize}
+    first peels column and row singletons — which permutes the bulk of a
+    slack-heavy LP basis to triangular form with zero fill — and
+    factorises the remaining bump with threshold partial pivoting,
+    storing everything as sparse eta vectors; each subsequent simplex
+    pivot appends one more eta instead of refactorising, so an
+    FTRAN/BTRAN costs one cheap pass per eta. The solver refactorises
+    periodically (and on numerical-stability failures), which also
+    squashes the eta file.
+
+    The buffering MILPs have bases that are overwhelmingly slack and
+    network columns (a thousand rows with a handful of nonzeros each),
+    so factorisation and solves run in roughly O(nnz) — a dense LU here
+    costs O(m^3) per refactorisation and was the measured bottleneck of
+    branch & bound on the larger kernels. *)
+
+type t
+
+exception Singular
+(** The selected basic columns are linearly dependent (or numerically
+    indistinguishable from it). *)
+
+val factorize : m:int -> col:(int -> Sparse.t) -> int array -> t
+(** [factorize ~m ~col basic] LU-factorises the basis matrix whose
+    [k]-th column is [col basic.(k)]. Raises {!Singular}. *)
+
+val ftran : t -> float array -> unit
+(** [ftran b y] solves [B x = y] in place ([y] becomes [x]). *)
+
+val btran : t -> float array -> unit
+(** [btran b y] solves [B^T x = y] in place. *)
+
+val update : t -> row:int -> float array -> unit
+(** [update b ~row d] replaces basic position [row] given [d = B^-1 a_q]
+    (the FTRANed entering column, as returned by {!ftran}) by pushing a
+    product-form eta. Raises {!Singular} if the pivot element
+    [d.(row)] is numerically zero. *)
+
+val n_etas : t -> int
+(** Etas accumulated since the last {!factorize} (refactorisation
+    trigger for the caller). *)

@@ -1,0 +1,18 @@
+(** Dense two-phase tableau simplex, retained as a testing oracle.
+
+    This is the solver {!Simplex} replaced. It is kept (with one bug
+    fixed: a finite upper bound on a free variable now constrains the
+    split difference [cp - cn <= hi] instead of only the positive
+    column, so [hi < 0] is no longer spuriously infeasible) solely so
+    the differential test suite can cross-check the revised simplex on
+    randomly generated models. Nothing on the production path calls it
+    and it emits no trace counters. *)
+
+type result = Simplex.result =
+  | Optimal of { obj : float; x : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : Lp.t -> result
+(** Solves the continuous relaxation, honouring variable bounds via
+    shifts, free-variable splitting and explicit upper-bound rows. *)

@@ -12,10 +12,20 @@ type t = {
   constrs : constr Support.Vec.t;
   mutable maximize : bool;
   mutable obj : (float * int) list;
+  (* column-major view keyed on (n_vars, n_constrs): bound and objective
+     edits keep it valid, adding rows or variables invalidates it *)
+  mutable cols : (int * int * Sparse.t array) option;
 }
 
 let create mname =
-  { mname; vars = Support.Vec.create (); constrs = Support.Vec.create (); maximize = true; obj = [] }
+  {
+    mname;
+    vars = Support.Vec.create ();
+    constrs = Support.Vec.create ();
+    maximize = true;
+    obj = [];
+    cols = None;
+  }
 
 let name t = t.mname
 
@@ -59,6 +69,19 @@ let constr t i =
   (c.terms, c.rel, c.rhs)
 
 let constr_name t i = (Support.Vec.get t.constrs i).cname
+
+let col_major t =
+  let nv = n_vars t and nc = n_constrs t in
+  match t.cols with
+  | Some (v, c, cols) when v = nv && c = nc -> cols
+  | _ ->
+    let acc = Array.make nv [] in
+    Support.Vec.iteri
+      (fun i c -> List.iter (fun (coef, v) -> acc.(v) <- (i, coef) :: acc.(v)) c.terms)
+      t.constrs;
+    let cols = Array.map Sparse.of_list acc in
+    t.cols <- Some (nv, nc, cols);
+    cols
 
 let set_objective t ~maximize terms =
   t.maximize <- maximize;

@@ -32,6 +32,14 @@ val constr : t -> int -> (float * int) list * relation * float
 val constr_name : t -> int -> string
 (** The name given at {!add_constr} ([""] if none). *)
 
+val col_major : t -> Sparse.t array
+(** Column-major sparse view of the constraint matrix (one {!Sparse.t}
+    of (row, coefficient) entries per variable), cached on the model and
+    rebuilt only when rows or variables were added since the last call.
+    Bound and objective edits — the B&B case — reuse the cached view, so
+    the per-node cost of the revised simplex stays proportional to the
+    work it does rather than to model size. *)
+
 val set_objective : t -> maximize:bool -> (float * int) list -> unit
 val objective : t -> bool * (float * int) list
 

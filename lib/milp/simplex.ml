@@ -3,272 +3,439 @@ type result =
   | Infeasible
   | Unbounded
 
-let eps = 1e-7
+(* nonbasic/basic state per variable, packed into a byte for the warm
+   token *)
+let st_basic = 0
+let st_lower = 1
+let st_upper = 2
+let st_free = 3 (* nonbasic free variable, parked at 0 *)
 
-(* One variable of the original model maps to one or two non-negative
-   columns: x = shift + col_pos - col_neg. *)
-type var_map = { col_pos : int; col_neg : int; shift : float }
+type basis = { w_nv : int; w_m : int; w_basic : int array; w_stat : Bytes.t }
 
-type tableau = {
-  a : float array array;  (* m x n *)
-  b : float array;        (* m *)
-  cost : float array;     (* n, reduced cost row (minimisation) *)
-  mutable z : float;      (* objective value of current basis *)
-  basis : int array;      (* m, column in basis for each row *)
-  m : int;
-  n : int;
+let ftol = 1e-7 (* primal feasibility tolerance *)
+let dtol = 1e-7 (* reduced-cost (dual) tolerance *)
+let ztol = 1e-9 (* pivot-element threshold *)
+let refactor_every = 64
+let bland_threshold = 20_000
+let iteration_limit = 500_000
+
+type state = {
+  nv : int;            (* structural variables *)
+  m : int;             (* rows; slack j of row i is variable nv + i *)
+  ntot : int;
+  cols : Sparse.t array;  (* structural columns only *)
+  lob : float array;   (* ntot *)
+  upb : float array;   (* ntot *)
+  b : float array;     (* m *)
+  cost : float array;  (* ntot, phase-2 minimisation costs *)
+  stat : int array;    (* ntot *)
+  xval : float array;  (* ntot *)
+  basic : int array;   (* m *)
+  mutable base : Basis.t;
+  mutable pivots : int;
+  mutable refactors : int;
 }
 
-let pivot t ~row ~col =
-  let piv = t.a.(row).(col) in
-  let arow = t.a.(row) in
-  let inv = 1. /. piv in
-  for j = 0 to t.n - 1 do
-    arow.(j) <- arow.(j) *. inv
-  done;
-  t.b.(row) <- t.b.(row) *. inv;
-  for i = 0 to t.m - 1 do
-    if i <> row then begin
-      let f = t.a.(i).(col) in
-      if abs_float f > 1e-12 then begin
-        let ai = t.a.(i) in
-        for j = 0 to t.n - 1 do
-          ai.(j) <- ai.(j) -. (f *. arow.(j))
-        done;
-        t.b.(i) <- t.b.(i) -. (f *. t.b.(row))
-      end
+let col s j = if j < s.nv then s.cols.(j) else Sparse.of_list [ (j - s.nv, 1.) ]
+
+(* y^T a_j without materialising slack columns *)
+let col_dot s j y = if j < s.nv then Sparse.dot s.cols.(j) y else y.(j - s.nv)
+
+(* scatter column j into the dense work vector *)
+let col_scatter s j d =
+  Array.fill d 0 s.m 0.;
+  if j < s.nv then Sparse.iter (fun i c -> d.(i) <- c) s.cols.(j)
+  else d.(j - s.nv) <- 1.
+
+let factorize s =
+  s.base <- Basis.factorize ~m:s.m ~col:(col s) s.basic
+
+let refactorize s =
+  factorize s;
+  s.refactors <- s.refactors + 1
+
+(* x_B = B^-1 (b - N x_N); also snaps nonbasic values onto their bound
+   (bounds can have moved since the warm basis was recorded) *)
+let compute_basics s =
+  let rhs = Array.copy s.b in
+  for j = 0 to s.ntot - 1 do
+    if s.stat.(j) <> st_basic then begin
+      let v =
+        if s.stat.(j) = st_lower then s.lob.(j)
+        else if s.stat.(j) = st_upper then s.upb.(j)
+        else 0.
+      in
+      s.xval.(j) <- v;
+      if v <> 0. then
+        if j < s.nv then Sparse.axpy (-.v) s.cols.(j) rhs
+        else rhs.(j - s.nv) <- rhs.(j - s.nv) -. v
     end
   done;
-  let f = t.cost.(col) in
-  if abs_float f > 1e-12 then begin
-    for j = 0 to t.n - 1 do
-      t.cost.(j) <- t.cost.(j) -. (f *. arow.(j))
-    done;
-    t.z <- t.z -. (f *. t.b.(row))
-  end;
-  t.basis.(row) <- col
+  Basis.ftran s.base rhs;
+  for i = 0 to s.m - 1 do
+    s.xval.(s.basic.(i)) <- rhs.(i)
+  done
 
-(* Minimise the current cost row over the feasible region.  [allowed j]
-   filters enterable columns (used to block artificials in phase 2).
-   Returns [`Optimal] or [`Unbounded]. *)
-let optimize t ~allowed =
-  let bland_threshold = 20_000 in
-  let iter = ref 0 in
-  let rec loop () =
-    incr iter;
-    if !iter > 200_000 then failwith "Simplex.optimize: iteration limit";
-    let bland = !iter > bland_threshold in
-    (* entering column *)
-    let enter = ref (-1) in
-    let best = ref (-.eps) in
-    (try
-       for j = 0 to t.n - 1 do
-         if allowed j && t.cost.(j) < -.eps then
-           if bland then begin
-             enter := j;
-             raise Exit
-           end
-           else if t.cost.(j) < !best then begin
-             best := t.cost.(j);
-             enter := j
-           end
-       done
-     with Exit -> ());
-    if !enter = -1 then `Optimal
-    else begin
-      let col = !enter in
-      (* ratio test *)
-      let row = ref (-1) in
-      let best_ratio = ref infinity in
-      for i = 0 to t.m - 1 do
-        if t.a.(i).(col) > eps then begin
-          let r = t.b.(i) /. t.a.(i).(col) in
-          if
-            r < !best_ratio -. 1e-12
-            || (r < !best_ratio +. 1e-12 && !row >= 0 && t.basis.(i) < t.basis.(!row))
-          then begin
-            best_ratio := r;
-            row := i
-          end
+(* a nonbasic status consistent with the (possibly changed) bounds *)
+let default_stat lo hi =
+  if lo > neg_infinity then st_lower else if hi < infinity then st_upper else st_free
+
+let cold_basis s =
+  for j = 0 to s.ntot - 1 do
+    s.stat.(j) <- default_stat s.lob.(j) s.upb.(j)
+  done;
+  for i = 0 to s.m - 1 do
+    s.basic.(i) <- s.nv + i;
+    s.stat.(s.nv + i) <- st_basic
+  done
+
+let load_warm s (w : basis) =
+  if w.w_nv <> s.nv || w.w_m <> s.m then false
+  else begin
+    let ok = ref true in
+    let in_basis = Array.make s.ntot false in
+    Array.iter
+      (fun j -> if j < 0 || j >= s.ntot || in_basis.(j) then ok := false else in_basis.(j) <- true)
+      w.w_basic;
+    if !ok then begin
+      Array.blit w.w_basic 0 s.basic 0 s.m;
+      for j = 0 to s.ntot - 1 do
+        if in_basis.(j) then s.stat.(j) <- st_basic
+        else begin
+          let st = Char.code (Bytes.get w.w_stat j) in
+          (* sanitize against bounds that moved since the token was cut *)
+          s.stat.(j) <-
+            (if st = st_lower && s.lob.(j) > neg_infinity then st_lower
+             else if st = st_upper && s.upb.(j) < infinity then st_upper
+             else default_stat s.lob.(j) s.upb.(j))
         end
-      done;
-      if !row = -1 then `Unbounded
-      else begin
-        pivot t ~row:!row ~col;
-        loop ()
+      done
+    end;
+    !ok
+  end
+
+let snapshot s =
+  let w_stat = Bytes.create s.ntot in
+  for j = 0 to s.ntot - 1 do
+    Bytes.set w_stat j (Char.chr s.stat.(j))
+  done;
+  { w_nv = s.nv; w_m = s.m; w_basic = Array.sub s.basic 0 s.m; w_stat }
+
+(* ---- one simplex phase (shared machinery) ----------------------- *)
+
+(* Entering candidates use the uniform reduced cost r_j = c_j - y^T a_j
+   (phase 1: c_j = 0 and y = B^-T sigma, sigma the infeasibility
+   gradient over basic rows). A nonbasic-at-lower variable improves when
+   r_j < -dtol (moves up), at-upper when r_j > dtol (moves down), free
+   in either case. *)
+
+type step =
+  | S_flip of float
+  | S_pivot of { t : float; row : int; leave_stat : int }
+  | S_unbounded
+
+let ratio_test s ~phase1 ~j ~dir ~d =
+  (* limit from the entering variable's own opposite bound (a bound
+     flip leaves the basis unchanged) *)
+  let t_flip =
+    if dir > 0. then if s.upb.(j) < infinity then s.upb.(j) -. s.xval.(j) else infinity
+    else if s.lob.(j) > neg_infinity then s.xval.(j) -. s.lob.(j)
+    else infinity
+  in
+  let t_best = ref infinity and row_best = ref (-1) in
+  let d_best = ref 0. and leave_best = ref st_lower in
+  let bland = s.pivots > bland_threshold in
+  for i = 0 to s.m - 1 do
+    let di = d.(i) in
+    if abs_float di > ztol then begin
+      let rate = -.dir *. di in
+      let bv = s.basic.(i) in
+      let v = s.xval.(bv) and lo = s.lob.(bv) and hi = s.upb.(bv) in
+      let consider t leave_stat =
+        let t = if t < 0. then 0. else t in
+        let replace =
+          t < !t_best -. 1e-9
+          || t < !t_best +. 1e-9
+             && !row_best >= 0
+             && (if bland then bv < s.basic.(!row_best) else abs_float di > abs_float !d_best)
+        in
+        if !row_best < 0 || replace then begin
+          t_best := t;
+          row_best := i;
+          d_best := di;
+          leave_best := leave_stat
+        end
+      in
+      if phase1 && v < lo -. ftol then begin
+        (* infeasible below: blocks where the gradient breaks, at lo *)
+        if rate > 0. then consider ((lo -. v) /. rate) st_lower
       end
+      else if phase1 && v > hi +. ftol then begin
+        if rate < 0. then consider ((v -. hi) /. -.rate) st_upper
+      end
+      else if rate > 0. then begin
+        if hi < infinity then consider ((hi -. v) /. rate) st_upper
+      end
+      else if lo > neg_infinity then consider ((v -. lo) /. -.rate) st_lower
+    end
+  done;
+  if !row_best = -1 && t_flip = infinity then S_unbounded
+  else if t_flip <= !t_best +. 1e-12 && t_flip < infinity then S_flip t_flip
+  else S_pivot { t = !t_best; row = !row_best; leave_stat = !leave_best }
+
+let apply_rates s ~dir ~d ~t =
+  if t <> 0. then
+    for i = 0 to s.m - 1 do
+      let bv = s.basic.(i) in
+      s.xval.(bv) <- s.xval.(bv) -. (dir *. d.(i) *. t)
+    done
+
+(* Returns [`Progress] after a flip or pivot, [`Optimal] when no
+   improving column exists, [`Unbounded] on an unbounded improving ray
+   (phase 2 only; phase 1's objective is bounded below by 0). *)
+let iterate s ~phase1 ~y ~d =
+  let bland = s.pivots > bland_threshold in
+  (* entering column *)
+  let enter = ref (-1) and enter_dir = ref 1. and best_score = ref dtol in
+  (try
+     for j = 0 to s.ntot - 1 do
+       let st = s.stat.(j) in
+       if st <> st_basic && s.lob.(j) < s.upb.(j) then begin
+         let r = (if phase1 then 0. else s.cost.(j)) -. col_dot s j y in
+         let score, dir =
+           if st = st_lower then (-.r, 1.)
+           else if st = st_upper then (r, -1.)
+           else (abs_float r, if r < 0. then 1. else -1.)
+         in
+         if score > !best_score then begin
+           best_score := score;
+           enter := j;
+           enter_dir := dir;
+           if bland then raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  if !enter = -1 then `Optimal
+  else begin
+    let j = !enter and dir = !enter_dir in
+    col_scatter s j d;
+    Basis.ftran s.base d;
+    s.pivots <- s.pivots + 1;
+    match ratio_test s ~phase1 ~j ~dir ~d with
+    | S_unbounded -> `Unbounded
+    | S_flip t ->
+      apply_rates s ~dir ~d ~t;
+      s.xval.(j) <- s.xval.(j) +. (dir *. t);
+      s.stat.(j) <- (if s.stat.(j) = st_lower then st_upper else st_lower);
+      `Progress
+    | S_pivot { t; row; leave_stat } -> (
+      apply_rates s ~dir ~d ~t;
+      s.xval.(j) <- s.xval.(j) +. (dir *. t);
+      let leaving = s.basic.(row) in
+      s.stat.(leaving) <- leave_stat;
+      (* snap the leaving variable exactly onto its blocking bound *)
+      s.xval.(leaving) <-
+        (if leave_stat = st_lower then s.lob.(leaving) else s.upb.(leaving));
+      s.basic.(row) <- j;
+      s.stat.(j) <- st_basic;
+      match Basis.update s.base ~row d with
+      | () ->
+        if Basis.n_etas s.base >= refactor_every then begin
+          refactorize s;
+          compute_basics s
+        end;
+        `Progress
+      | exception Basis.Singular ->
+        (* numerically degenerate update: rebuild the factors for the
+           new basis from scratch instead *)
+        refactorize s;
+        compute_basics s;
+        `Progress)
+  end
+
+(* infeasibility gradient over basic rows; None when primal feasible *)
+let sigma s =
+  let g = Array.make s.m 0. in
+  let any = ref false in
+  for i = 0 to s.m - 1 do
+    let bv = s.basic.(i) in
+    let v = s.xval.(bv) in
+    if v < s.lob.(bv) -. ftol then begin
+      g.(i) <- -1.;
+      any := true
+    end
+    else if v > s.upb.(bv) +. ftol then begin
+      g.(i) <- 1.;
+      any := true
+    end
+  done;
+  if !any then Some g else None
+
+let max_infeasibility s =
+  let worst = ref 0. in
+  for i = 0 to s.m - 1 do
+    let bv = s.basic.(i) in
+    let v = s.xval.(bv) in
+    if v < s.lob.(bv) then worst := Float.max !worst (s.lob.(bv) -. v);
+    if v > s.upb.(bv) then worst := Float.max !worst (v -. s.upb.(bv))
+  done;
+  !worst
+
+let run_phase1 s =
+  let d = Array.make s.m 0. in
+  let iters = ref 0 in
+  let rec loop () =
+    incr iters;
+    if !iters > iteration_limit then failwith "Simplex: phase 1 iteration limit";
+    match sigma s with
+    | None -> `Feasible
+    | Some g ->
+      Basis.btran s.base g;
+      (match iterate s ~phase1:true ~y:g ~d with
+      | `Progress -> loop ()
+      | `Unbounded -> failwith "Simplex: phase 1 unbounded (impossible)"
+      | `Optimal ->
+        (* no improving column while still infeasible: refresh the
+           factors once to rule out numerical drift, then decide *)
+        refactorize s;
+        compute_basics s;
+        if max_infeasibility s > 1e-6 then `Infeasible
+        else `Feasible)
+  in
+  loop ()
+
+let run_phase2 s =
+  let d = Array.make s.m 0. in
+  let cb = Array.make s.m 0. in
+  let iters = ref 0 in
+  let rec loop () =
+    incr iters;
+    if !iters > iteration_limit then failwith "Simplex: phase 2 iteration limit";
+    (* a pivot can push a basic variable out of bounds numerically; if
+       so, repair through phase 1 (cheap: the basis is near-feasible) *)
+    if max_infeasibility s > 10. *. ftol then
+      match run_phase1 s with `Infeasible -> `Infeasible | `Feasible -> loop ()
+    else begin
+      for i = 0 to s.m - 1 do
+        cb.(i) <- s.cost.(s.basic.(i))
+      done;
+      Basis.btran s.base cb;
+      match iterate s ~phase1:false ~y:cb ~d with
+      | `Progress -> loop ()
+      | `Unbounded -> `Unbounded
+      | `Optimal -> `Optimal
     end
   in
-  let result = loop () in
-  (* the terminal iteration performs no pivot, so pivots = entries - 1 *)
-  Support.Trace.add "milp.simplex.pivots" (!iter - 1);
-  result
+  loop ()
 
-let solve lp =
+(* ---- driver ------------------------------------------------------ *)
+
+(* build the bounded-variable internal form; None when some variable box
+   is empty (trivially infeasible) *)
+let make_state lp =
   let nv = Lp.n_vars lp in
-  (* ---- variable mapping ---- *)
-  let var_maps = Array.make nv { col_pos = -1; col_neg = -1; shift = 0. } in
-  let n_struct = ref 0 in
-  let ub_rows = ref [] in
+  let m = Lp.n_constrs lp in
+  let ntot = nv + m in
+  let lob = Array.make ntot 0. and upb = Array.make ntot 0. in
+  let empty_box = ref false in
   for v = 0 to nv - 1 do
     let lo, hi = Lp.bounds lp v in
-    if lo > neg_infinity then begin
-      let col = !n_struct in
-      incr n_struct;
-      var_maps.(v) <- { col_pos = col; col_neg = -1; shift = lo };
-      if hi < infinity then ub_rows := (col, hi -. lo) :: !ub_rows
+    lob.(v) <- lo;
+    upb.(v) <- hi;
+    if lo > hi then empty_box := true
+  done;
+  if !empty_box then None
+  else begin
+    let b = Array.make m 0. in
+    (* slack of row i is variable nv+i with sign fixed by the relation
+       (lob/upb start at 0, so Eq slacks are already pinned) *)
+    for i = 0 to m - 1 do
+      let _, rel, rhs = Lp.constr lp i in
+      b.(i) <- rhs;
+      let sj = nv + i in
+      (match rel with
+      | Lp.Le -> upb.(sj) <- infinity
+      | Lp.Ge -> lob.(sj) <- neg_infinity
+      | Lp.Eq -> ())
+    done;
+    let maximize, obj = Lp.objective lp in
+    let cost = Array.make ntot 0. in
+    let sign = if maximize then -1. else 1. in
+    List.iter (fun (c, v) -> cost.(v) <- cost.(v) +. (sign *. c)) obj;
+    Some
+      {
+        nv;
+        m;
+        ntot;
+        cols = Lp.col_major lp;
+        lob;
+        upb;
+        b;
+        cost;
+        stat = Array.make ntot st_lower;
+        xval = Array.make ntot 0.;
+        basic = Array.make m 0;
+        base = Basis.factorize ~m:0 ~col:(fun _ -> Sparse.empty) [||];
+        pivots = 0;
+        refactors = 0;
+      }
+  end
+
+let solve_basis ?warm lp =
+  match make_state lp with
+  | None -> (Infeasible, None)
+  | Some s ->
+    let _, obj = Lp.objective lp in
+    let warm_loaded = match warm with Some w -> load_warm s w | None -> false in
+    if warm_loaded then begin
+      match factorize s with
+      | () -> ()
+      | exception Basis.Singular ->
+        cold_basis s;
+        factorize s
     end
     else begin
-      (* free variable: split *)
-      let cp = !n_struct in
-      let cn = !n_struct + 1 in
-      n_struct := !n_struct + 2;
-      var_maps.(v) <- { col_pos = cp; col_neg = cn; shift = 0. };
-      if hi < infinity then ub_rows := (cp, hi) :: !ub_rows
+      cold_basis s;
+      factorize s
+    end;
+    compute_basics s;
+    let result =
+      match run_phase1 s with
+      | `Infeasible -> Infeasible
+      | `Feasible -> (
+        match run_phase2 s with
+        | `Infeasible -> Infeasible
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+          let x = Array.sub s.xval 0 s.nv in
+          Optimal { obj = Lp.eval_expr obj x; x })
+    in
+    Support.Trace.add "milp.simplex.pivots" s.pivots;
+    Support.Trace.add "milp.simplex.refactors" s.refactors;
+    (result, Some (snapshot s))
+
+let solve ?warm lp = fst (solve_basis ?warm lp)
+
+(* Reduced costs (internal minimisation sense) of the structural
+   variables at the given basis. At an optimal basis, [abs rc.(j)]
+   lower-bounds the objective degradation — in whichever sense the LP
+   optimises — per unit a nonbasic [j] moves off its bound; branch &
+   bound uses this for reduced-cost bound fixing. None when the token
+   does not fit the LP or its basis matrix is singular. *)
+let reduced_costs lp (w : basis) =
+  match make_state lp with
+  | None -> None
+  | Some s ->
+    if not (load_warm s w) then None
+    else begin
+      match factorize s with
+      | exception Basis.Singular -> None
+      | () ->
+        let cb = Array.make s.m 0. in
+        for i = 0 to s.m - 1 do
+          cb.(i) <- s.cost.(s.basic.(i))
+        done;
+        Basis.btran s.base cb;
+        Some (Array.init s.nv (fun j -> s.cost.(j) -. col_dot s j cb))
     end
-  done;
-  let n_struct = !n_struct in
-  (* ---- rows in terms of shifted columns ---- *)
-  (* each row: (coeff list over columns, relation, rhs) *)
-  let rows = ref [] in
-  let add_row terms rel rhs =
-    let cols = Hashtbl.create 8 in
-    let shift_sum = ref 0. in
-    List.iter
-      (fun (c, v) ->
-        let vm = var_maps.(v) in
-        shift_sum := !shift_sum +. (c *. vm.shift);
-        let addc col k =
-          Hashtbl.replace cols col (k +. Option.value (Hashtbl.find_opt cols col) ~default:0.)
-        in
-        addc vm.col_pos c;
-        if vm.col_neg >= 0 then addc vm.col_neg (-.c))
-      terms;
-    let coeffs = Hashtbl.fold (fun col c acc -> (col, c) :: acc) cols [] in
-    rows := (coeffs, rel, rhs -. !shift_sum) :: !rows
-  in
-  for i = 0 to Lp.n_constrs lp - 1 do
-    let terms, rel, rhs = Lp.constr lp i in
-    add_row terms rel rhs
-  done;
-  List.iter (fun (col, ub) -> rows := ([ (col, 1.) ], Lp.Le, ub) :: !rows) !ub_rows;
-  let rows = Array.of_list (List.rev !rows) in
-  let m = Array.length rows in
-  (* normalise to rhs >= 0 *)
-  let rows =
-    Array.map
-      (fun (coeffs, rel, rhs) ->
-        if rhs < 0. then
-          let rel = match rel with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq in
-          (List.map (fun (c, k) -> (c, -.k)) coeffs, rel, -.rhs)
-        else (coeffs, rel, rhs))
-      rows
-  in
-  (* count slacks and artificials *)
-  let n_slack = Array.fold_left (fun acc (_, rel, _) -> if rel = Lp.Eq then acc else acc + 1) 0 rows in
-  let n_art =
-    Array.fold_left (fun acc (_, rel, _) -> if rel = Lp.Le then acc else acc + 1) 0 rows
-  in
-  let n = n_struct + n_slack + n_art in
-  let a = Array.init m (fun _ -> Array.make n 0.) in
-  let b = Array.make m 0. in
-  let basis = Array.make m (-1) in
-  let slack0 = n_struct in
-  let art0 = n_struct + n_slack in
-  let next_slack = ref 0 and next_art = ref 0 in
-  Array.iteri
-    (fun i (coeffs, rel, rhs) ->
-      List.iter (fun (c, k) -> a.(i).(c) <- a.(i).(c) +. k) coeffs;
-      b.(i) <- rhs;
-      (match rel with
-      | Lp.Le ->
-        let s = slack0 + !next_slack in
-        incr next_slack;
-        a.(i).(s) <- 1.;
-        basis.(i) <- s
-      | Lp.Ge ->
-        let s = slack0 + !next_slack in
-        incr next_slack;
-        a.(i).(s) <- -1.;
-        let art = art0 + !next_art in
-        incr next_art;
-        a.(i).(art) <- 1.;
-        basis.(i) <- art
-      | Lp.Eq ->
-        let art = art0 + !next_art in
-        incr next_art;
-        a.(i).(art) <- 1.;
-        basis.(i) <- art))
-    rows;
-  let t = { a; b; cost = Array.make n 0.; z = 0.; basis; m; n } in
-  (* ---- phase 1 ---- *)
-  if n_art > 0 then begin
-    for j = art0 to n - 1 do
-      t.cost.(j) <- 1.
-    done;
-    (* reduce cost row against initial basis (artificials in basis) *)
-    for i = 0 to m - 1 do
-      if t.basis.(i) >= art0 then begin
-        for j = 0 to n - 1 do
-          t.cost.(j) <- t.cost.(j) -. t.a.(i).(j)
-        done;
-        t.z <- t.z -. t.b.(i)
-      end
-    done;
-    match optimize t ~allowed:(fun _ -> true) with
-    | `Unbounded -> failwith "Simplex: phase 1 unbounded (impossible)"
-    | `Optimal -> ()
-  end;
-  let phase1_obj = -.t.z in
-  if n_art > 0 && phase1_obj > 1e-6 then Infeasible
-  else begin
-    (* drive remaining artificials out of the basis where possible *)
-    for i = 0 to m - 1 do
-      if t.basis.(i) >= art0 then begin
-        let found = ref (-1) in
-        for j = 0 to art0 - 1 do
-          if !found = -1 && abs_float t.a.(i).(j) > 1e-7 then found := j
-        done;
-        if !found >= 0 then pivot t ~row:i ~col:!found
-        (* else the row is redundant; leave the artificial at value 0 *)
-      end
-    done;
-    (* ---- phase 2 ---- *)
-    let maximize, obj = Lp.objective lp in
-    Array.fill t.cost 0 n 0.;
-    t.z <- 0.;
-    let sign = if maximize then 1. else -1. in
-    (* internally minimise -sign * obj *)
-    List.iter
-      (fun (c, v) ->
-        let vm = var_maps.(v) in
-        t.cost.(vm.col_pos) <- t.cost.(vm.col_pos) -. (sign *. c);
-        if vm.col_neg >= 0 then t.cost.(vm.col_neg) <- t.cost.(vm.col_neg) +. (sign *. c))
-      obj;
-    (* reduce against current basis *)
-    for i = 0 to m - 1 do
-      let f = t.cost.(t.basis.(i)) in
-      if abs_float f > 1e-12 then begin
-        for j = 0 to n - 1 do
-          t.cost.(j) <- t.cost.(j) -. (f *. t.a.(i).(j))
-        done;
-        t.z <- t.z -. (f *. t.b.(i))
-      end
-    done;
-    let allowed j = j < art0 in
-    match optimize t ~allowed with
-    | `Unbounded -> Unbounded
-    | `Optimal ->
-      let xcols = Array.make n 0. in
-      for i = 0 to m - 1 do
-        xcols.(t.basis.(i)) <- t.b.(i)
-      done;
-      let x =
-        Array.init nv (fun v ->
-            let vm = var_maps.(v) in
-            vm.shift +. xcols.(vm.col_pos)
-            -. (if vm.col_neg >= 0 then xcols.(vm.col_neg) else 0.))
-      in
-      (* recompute the objective from x to avoid sign gymnastics *)
-      Optimal { obj = Lp.eval_expr obj x; x }
-  end

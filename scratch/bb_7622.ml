@@ -62,6 +62,7 @@ let () =
   (match Bb.solve m with
   | Bb.Infeasible -> Printf.printf "bb: infeasible\n"
   | Bb.Unbounded -> Printf.printf "bb: unbounded\n"
+  | Bb.Exhausted -> Printf.printf "bb: exhausted\n"
   | Bb.Optimal { obj = got; x; _ } ->
     Printf.printf "bb: optimal %g at [%s] feasible=%b\n" got
       (String.concat "; " (Array.to_list (Array.map string_of_float x)))

@@ -37,7 +37,7 @@ let run seed =
   enum 0;
   match Bb.solve m with
   | Bb.Infeasible -> !best = neg_infinity
-  | Bb.Unbounded -> false
+  | Bb.Unbounded | Bb.Exhausted -> false
   | Bb.Optimal { obj = got; x; _ } -> Lp.feasible m x && abs_float (got -. !best) < 1e-5
 
 let () =

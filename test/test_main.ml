@@ -8,6 +8,7 @@ let () =
       ("netlist", Test_netlist.suite);
       ("techmap", Test_techmap.suite);
       ("milp", Test_milp.suite);
+      ("milp-differential", Test_milp_differential.suite);
       ("sim", Test_sim.suite);
       ("hls", Test_hls.suite);
       ("timing", Test_timing.suite);

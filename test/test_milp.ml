@@ -223,7 +223,7 @@ let prop_bb_matches_bruteforce =
       done;
       match Bb.solve m with
       | Bb.Infeasible -> !best = neg_infinity
-      | Bb.Unbounded -> false
+      | Bb.Unbounded | Bb.Exhausted -> false
       | Bb.Optimal { obj = got; x; _ } ->
         Lp.feasible m x && abs_float (got -. !best) < 1e-5)
 
@@ -265,7 +265,7 @@ let prop_bb_integers_bruteforce =
       enum 0;
       match Bb.solve m with
       | Bb.Infeasible -> !best = neg_infinity
-      | Bb.Unbounded -> false
+      | Bb.Unbounded | Bb.Exhausted -> false
       | Bb.Optimal { obj = got; x; _ } -> Lp.feasible m x && abs_float (got -. !best) < 1e-5)
 
 let test_bb_initial_incumbent () =
