@@ -243,7 +243,16 @@ let compile_cmd =
   in
   let run file simulate =
     let src = In_channel.with_open_text file In_channel.input_all in
-    let f = Hls.Parser.parse src in
+    let f =
+      match Hls.Parser.parse src with
+      | f -> f
+      | exception e -> (
+        match Hls.Parser.error_message e with
+        | Some msg ->
+          Printf.eprintf "%s: %s\n" file msg;
+          exit 1
+        | None -> raise e)
+    in
     let g = Hls.Compile.compile f in
     Printf.printf "%s: %d units, %d channels, %d loops\n" f.Hls.Ast.fname
       (Dataflow.Graph.n_units g) (Dataflow.Graph.n_channels g)
@@ -262,6 +271,109 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a mini-C file to a dataflow circuit.")
     Term.(const run $ file $ simulate)
+
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let seeds =
+    Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N" ~doc:"Seed count (default 200).")
+  in
+  let start_seed =
+    Arg.(value & opt int 0 & info [ "start-seed" ] ~docv:"N" ~doc:"First seed (default 0).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget: stop submitting new kernel batches once exceeded. The kernels \
+             already checked still count; the stats record the early stop.")
+  in
+  let mutate =
+    Arg.(
+      value & opt int 2
+      & info [ "mutate" ] ~docv:"N"
+          ~doc:"Additive DFG mutants derived per kernel per flavor (default 2, 0 disables).")
+  in
+  let no_minimize =
+    Arg.(
+      value & flag
+      & info [ "no-minimize" ] ~doc:"Report findings with the original (unshrunk) kernel source.")
+  in
+  let repro_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:"Write one minimized repro fixture per finding into $(docv).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the campaign statistics (coverage and failure histograms) as JSON.")
+  in
+  let run seeds start_seed budget mutate no_minimize repro_dir json jobs trace cache_dir =
+    with_cache cache_dir @@ fun () ->
+    traced ~name:"regulate:fuzz" trace @@ fun () ->
+    let result =
+      Support.Pool.run ~jobs (fun pool ->
+          Fuzz.Harness.run ~mutations:mutate ?budget_s:budget ~minimize:(not no_minimize)
+            ~log:(fun l -> Printf.eprintf "%s\n%!" l)
+            ~pool ~start_seed ~seeds ())
+    in
+    let s = result.Fuzz.Harness.stats in
+    Printf.printf "fuzz: %d kernels checked in %.1fs%s: %d violations, %d explained\n"
+      s.Fuzz.Harness.s_kernels s.Fuzz.Harness.s_duration_s
+      (if s.Fuzz.Harness.s_budget_hit then " (budget hit)" else "")
+      s.Fuzz.Harness.s_violations s.Fuzz.Harness.s_explained;
+    Printf.printf "feature coverage:\n";
+    List.iter
+      (fun k ->
+        let n = Option.value (List.assoc_opt k s.Fuzz.Harness.s_features) ~default:0 in
+        Printf.printf "  %-12s %d\n" k n)
+      Hls.Generate.feature_keys;
+    if s.Fuzz.Harness.s_explained_by_kind <> [] then begin
+      Printf.printf "explained (resource limits):\n";
+      List.iter
+        (fun (k, n) -> Printf.printf "  %-24s %d\n" k n)
+        s.Fuzz.Harness.s_explained_by_kind
+    end;
+    List.iter
+      (fun (f : Fuzz.Harness.finding) ->
+        Printf.printf "\nFINDING seed=%d invariant=%s flavor=%s\n  %s\n" f.Fuzz.Harness.f_seed
+          f.Fuzz.Harness.f_kind f.Fuzz.Harness.f_flavor f.Fuzz.Harness.f_detail;
+        Printf.printf "minimized to %d statements:\n%s\n" f.Fuzz.Harness.f_min_stmts
+          f.Fuzz.Harness.f_minimized;
+        match repro_dir with
+        | None -> ()
+        | Some dir ->
+          let path = Fuzz.Harness.write_repro ~dir f in
+          Printf.printf "repro written to %s\n" path)
+      result.Fuzz.Harness.findings;
+    (match json with
+    | None -> ()
+    | Some path ->
+      Support.Trace.ensure_parent_dir path;
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Fuzz.Harness.stats_to_json s);
+          output_char oc '\n');
+      Printf.printf "stats written to %s\n" path);
+    if s.Fuzz.Harness.s_violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate seeded random kernels and pump them through both flows, checking the \
+          differential oracle: interpreter/simulator equivalence, lint & tv gates, MILP claims \
+          vs the certified bound, cache determinism and mutation robustness. Failures are \
+          auto-minimized.")
+    (Term.term_result
+       Term.(
+         const run $ seeds $ start_seed $ budget $ mutate $ no_minimize $ repro_dir $ json
+         $ jobs_arg $ trace_arg $ cache_dir_arg))
 
 (* ---- profile ---- *)
 
@@ -804,4 +916,5 @@ let () =
             export_cmd;
             profile_cmd;
             compile_cmd;
+            fuzz_cmd;
           ]))

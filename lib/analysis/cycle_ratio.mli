@@ -40,7 +40,13 @@ val howard : graph -> (witness * stats) option
     acyclic. Raises [Invalid_argument] if an edge endpoint is out of
     range or a cycle with non-positive total time is encountered —
     callers must rule out zero-time cycles (combinational loops)
-    first, e.g. with {!min_cycle_mean} on the time weights. *)
+    first, e.g. with {!min_cycle_mean} on the time weights.
+
+    Policy cycles are anchored at their minimum node id so repeated
+    evaluations of one policy share a distance frame; if improvement
+    still fails to settle (an equal-ratio plateau), the best cycle
+    seen is returned only when {!karp} independently confirms its
+    ratio, and [Invalid_argument] is raised otherwise. *)
 
 val min_cycle_mean : graph -> (witness * stats) option
 (** Minimum cycle mean of [e_cost]: {!howard} with every transit time

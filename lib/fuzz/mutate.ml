@@ -1,0 +1,47 @@
+module G = Dataflow.Graph
+
+type mutation =
+  | Add_opaque of G.channel_id * int
+  | Add_transparent of G.channel_id * int
+  | Widen of G.channel_id * int
+
+let pp fmt = function
+  | Add_opaque (c, s) -> Format.fprintf fmt "opaque(c%d,%d)" c s
+  | Add_transparent (c, s) -> Format.fprintf fmt "transparent(c%d,%d)" c s
+  | Widen (c, s) -> Format.fprintf fmt "widen(c%d,+%d)" c s
+
+let random rng g n =
+  let nc = G.n_channels g in
+  if nc = 0 then []
+  else
+    List.init n (fun _ ->
+        let c = Support.Rng.int rng nc in
+        let slots = 1 + Support.Rng.int rng 3 in
+        match Support.Rng.int rng 3 with
+        | 0 -> Add_opaque (c, slots)
+        | 1 -> Add_transparent (c, slots)
+        | _ -> Widen (c, slots))
+
+let apply g muts =
+  let g = G.copy g in
+  let bump c ~transparent ~slots =
+    match G.buffer g c with
+    | None -> G.set_buffer g c (Some { G.transparent; slots })
+    | Some b ->
+      (* keep an existing opaque buffer opaque (removing latency could
+         re-expose a combinational loop); only grow capacity and allow
+         a transparent buffer to be upgraded to opaque *)
+      let transparent = b.G.transparent && transparent in
+      G.set_buffer g c (Some { G.transparent; slots = max b.G.slots slots })
+  in
+  List.iter
+    (fun m ->
+      match m with
+      | Add_opaque (c, s) -> bump c ~transparent:false ~slots:s
+      | Add_transparent (c, s) -> bump c ~transparent:true ~slots:s
+      | Widen (c, s) -> (
+        match G.buffer g c with
+        | None -> G.set_buffer g c (Some { G.transparent = true; slots = s })
+        | Some b -> G.set_buffer g c (Some { b with G.slots = b.G.slots + s })))
+    muts;
+  g

@@ -1,0 +1,27 @@
+(** DFG-level mutation: perturb a buffered circuit without changing what
+    it computes.
+
+    Every mutation only {e adds} storage — an opaque buffer (latency and
+    capacity), a transparent buffer (capacity only) or extra slots on an
+    existing buffer. By latency-insensitivity these cannot change the
+    exit value of a live circuit, and added capacity cannot introduce
+    deadlock — so the oracle's expectation for any mutant is simple:
+    same exit value, same final memories, still live. A mutant that
+    violates it exposes a protocol bug in the simulator, the netlist
+    semantics or the certifier. *)
+
+type mutation =
+  | Add_opaque of Dataflow.Graph.channel_id * int      (** slots *)
+  | Add_transparent of Dataflow.Graph.channel_id * int
+  | Widen of Dataflow.Graph.channel_id * int           (** extra slots *)
+
+val pp : Format.formatter -> mutation -> unit
+
+val random : Support.Rng.t -> Dataflow.Graph.t -> int -> mutation list
+(** [random rng g n] draws [n] mutations targeting channels of [g]
+    (deterministic in the RNG state). *)
+
+val apply : Dataflow.Graph.t -> mutation list -> Dataflow.Graph.t
+(** Apply to a deep copy; the input graph is untouched. A mutation on an
+    already-buffered channel degrades gracefully (widens / upgrades the
+    existing buffer) so any list is applicable to any graph. *)

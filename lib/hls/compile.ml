@@ -146,7 +146,11 @@ let rec compile_expr b env ~(scope : Sset.t) e =
     let width =
       match op with
       | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 1
-      | _ -> max (value_width b vx) (value_width b vy)
+      | _ ->
+        (* arithmetic results are ints: promote to the datapath width even
+           when both operands are narrow (e.g. two comparison outputs), or
+           a 1-bit subtractor computes 0 - 1 = 1 *)
+        max b.width (max (value_width b vx) (value_width b vy))
     in
     let o = unit_ b ~width (K.operator kop) in
     use b vx ~dst:o ~port:0;

@@ -1,0 +1,339 @@
+module Rng = Support.Rng
+
+type cfg = {
+  max_constructs : int;
+  max_depth : int;
+  max_expr_depth : int;
+  max_body_stmts : int;
+  max_trip : int;
+  max_arrays : int;
+  allow_while : bool;
+  allow_break : bool;
+}
+
+let default_cfg =
+  {
+    max_constructs = 2;
+    max_depth = 2;
+    max_expr_depth = 3;
+    max_body_stmts = 2;
+    max_trip = 6;
+    max_arrays = 2;
+    allow_while = true;
+    allow_break = true;
+  }
+
+type program = {
+  seed : int;
+  func : Ast.func;
+  source : string;
+  args : (string * int) list;
+  memories : (string * int array) list;
+  features : (string * int) list;
+}
+
+let feature_keys =
+  [
+    "for"; "while"; "nested-loop"; "if"; "else"; "break"; "continue";
+    "reduction"; "store"; "load"; "indirect"; "strided"; "reversed";
+    "ternary"; "mul"; "shift"; "bitop"; "cmp"; "not"; "scalar-arg";
+    "loop-free";
+  ]
+
+(* The generator's working state: one RNG stream (determinism), a fresh-
+   name counter (scope discipline: no name is ever reused) and the
+   feature histogram. *)
+type ctx = {
+  rng : Rng.t;
+  feats : (string, int) Hashtbl.t;
+  mutable fresh : int;
+  cfg : cfg;
+  mutable loops : int;  (* loops generated so far; capped at [max_loops] *)
+}
+
+let max_loops = 4
+
+let feat ctx k =
+  Hashtbl.replace ctx.feats k (1 + Option.value (Hashtbl.find_opt ctx.feats k) ~default:0)
+
+let fresh ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s%d" prefix ctx.fresh
+
+(* Variables visible at the current point. [vars] may be assigned;
+   [ro] (loop counters, scalar parameters) may only be read — assigning
+   a counter could make a loop diverge. *)
+type env = { vars : string list; ro : string list; arrays : (string * int) list }
+
+type loop_kind = Not_in_loop | In_for | In_while
+
+let readable env = env.vars @ env.ro
+
+let pick ctx xs = List.nth xs (Rng.int ctx.rng (List.length xs))
+
+(* ---- expressions ---- *)
+
+let gen_const ctx =
+  (* small constants dominate (loop bounds, comparisons against data
+     ranges); the occasional full-width value exercises wrap-around *)
+  Ast.Int (if Rng.int ctx.rng 4 = 0 then Rng.int ctx.rng 256 else Rng.int ctx.rng 10)
+
+(* An index expression for [size]-element array access. All indices are
+   legal (the interpreter and the simulator clamp identically), so the
+   patterns here are about circuit diversity, not safety. *)
+let rec gen_index ctx env size =
+  let counters = env.ro in
+  match if counters = [] then 3 + Rng.int ctx.rng 2 else Rng.int ctx.rng 6 with
+  | 0 -> Ast.Var (pick ctx counters)
+  | 1 -> Ast.Binop (Ast.Add, Ast.Var (pick ctx counters), Ast.Int (Rng.int ctx.rng size))
+  | 2 ->
+    feat ctx "strided";
+    Ast.Binop (Ast.Mul, Ast.Int (1 + Rng.int ctx.rng 3), Ast.Var (pick ctx counters))
+  | 3 -> Ast.Int (Rng.int ctx.rng size)
+  | 4 ->
+    (* indirect access: index loaded from another (or the same) array *)
+    feat ctx "indirect";
+    feat ctx "load";
+    let a, sz = pick ctx env.arrays in
+    Ast.Load (a, gen_index_simple ctx env sz)
+  | _ ->
+    feat ctx "reversed";
+    if counters = [] then Ast.Int (Rng.int ctx.rng size)
+    else Ast.Binop (Ast.Sub, Ast.Int (size - 1), Ast.Var (pick ctx counters))
+
+and gen_index_simple ctx env size =
+  match env.ro with
+  | [] -> Ast.Int (Rng.int ctx.rng size)
+  | counters ->
+    if Rng.bool ctx.rng then Ast.Var (pick ctx counters) else Ast.Int (Rng.int ctx.rng size)
+
+let gen_load ctx env =
+  feat ctx "load";
+  let a, size = pick ctx env.arrays in
+  Ast.Load (a, gen_index ctx env size)
+
+let gen_leaf ctx env =
+  let vars = readable env in
+  match Rng.int ctx.rng 4 with
+  | 0 -> gen_load ctx env
+  | (1 | 2) when vars <> [] -> Ast.Var (pick ctx vars)
+  | _ -> gen_const ctx
+
+let rec gen_expr ctx env depth =
+  if depth <= 0 then gen_leaf ctx env
+  else
+    match Rng.int ctx.rng 12 with
+    | 0 | 1 -> gen_leaf ctx env
+    | 2 | 3 | 4 -> Ast.Binop (Ast.Add, gen_expr ctx env (depth - 1), gen_expr ctx env (depth - 1))
+    | 5 -> Ast.Binop (Ast.Sub, gen_expr ctx env (depth - 1), gen_expr ctx env (depth - 1))
+    | 6 ->
+      feat ctx "mul";
+      Ast.Binop (Ast.Mul, gen_expr ctx env (depth - 1), gen_leaf ctx env)
+    | 7 ->
+      feat ctx "shift";
+      (* shift amounts are literal and < width: the interpreter, the
+         simulator and the barrel shifter agree on that range only *)
+      let op = if Rng.bool ctx.rng then Ast.Shl else Ast.Lshr in
+      Ast.Binop (op, gen_expr ctx env (depth - 1), Ast.Int (Rng.int ctx.rng 4))
+    | 8 ->
+      feat ctx "bitop";
+      let op = pick ctx [ Ast.And; Ast.Or; Ast.Xor ] in
+      Ast.Binop (op, gen_expr ctx env (depth - 1), gen_expr ctx env (depth - 1))
+    | 9 ->
+      feat ctx "ternary";
+      Ast.Ternary (gen_cond ctx env, gen_expr ctx env (depth - 1), gen_expr ctx env (depth - 1))
+    | 10 ->
+      feat ctx "not";
+      Ast.Not (gen_leaf ctx env)
+    | _ ->
+      feat ctx "cmp";
+      Ast.Binop
+        ( pick ctx [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ],
+          gen_leaf ctx env, gen_leaf ctx env )
+
+and gen_cond ctx env =
+  feat ctx "cmp";
+  let op = pick ctx [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ] in
+  Ast.Binop (op, gen_leaf ctx env, gen_const ctx)
+
+(* ---- statements ----
+
+   Every generator returns a statement {e list} (a while loop is a
+   counter declaration plus the loop) and the extended environment, so
+   nesting composes uniformly. *)
+
+let rec gen_block ctx env ~depth ~in_loop =
+  let n = 1 + Rng.int ctx.rng ctx.cfg.max_body_stmts in
+  let rec go env k acc =
+    if k = 0 then List.concat (List.rev acc)
+    else begin
+      let env', ss = gen_stmt ctx env ~depth ~in_loop in
+      go env' (k - 1) (ss :: acc)
+    end
+  in
+  go env n []
+
+and gen_stmt ctx env ~depth ~in_loop =
+  match Rng.int ctx.rng 10 with
+  | 0 | 1 when env.vars <> [] ->
+    (* reduction into an accumulator *)
+    feat ctx "reduction";
+    let acc = pick ctx env.vars in
+    let op = if Rng.int ctx.rng 4 = 0 then Ast.Mul else Ast.Add in
+    if op = Ast.Mul then feat ctx "mul";
+    ( env,
+      [
+        Ast.Assign
+          (acc, Ast.Binop (op, Ast.Var acc, gen_expr ctx env (ctx.cfg.max_expr_depth - 1)));
+      ] )
+  | 2 ->
+    feat ctx "store";
+    let a, size = pick ctx env.arrays in
+    (env, [ Ast.Store (a, gen_index ctx env size, gen_expr ctx env (ctx.cfg.max_expr_depth - 1)) ])
+  | 3 ->
+    (* declare a fresh temporary; visible to the rest of this block *)
+    let v = fresh ctx "t" in
+    let e = gen_expr ctx env ctx.cfg.max_expr_depth in
+    ({ env with vars = v :: env.vars }, [ Ast.Decl (v, e) ])
+  | 4 | 5 when depth > 0 ->
+    feat ctx "if";
+    let then_ = gen_block ctx env ~depth:(depth - 1) ~in_loop in
+    let else_ =
+      if Rng.bool ctx.rng then begin
+        feat ctx "else";
+        gen_block ctx env ~depth:(depth - 1) ~in_loop
+      end
+      else []
+    in
+    (env, [ Ast.If (gen_cond ctx env, then_, else_) ])
+  | 6 when depth > 0 && ctx.loops < max_loops ->
+    if in_loop <> Not_in_loop then feat ctx "nested-loop";
+    (env, gen_loop ctx env ~depth)
+  | 7 when in_loop <> Not_in_loop && ctx.cfg.allow_break && Rng.int ctx.rng 3 = 0 ->
+    if in_loop = In_for && Rng.bool ctx.rng then begin
+      (* continue only under [for]: its step always runs, so the loop
+         still terminates; under the generated while shape it would
+         skip the counter decrement *)
+      feat ctx "continue";
+      (env, [ Ast.If (gen_cond ctx env, [ Ast.Continue ], []) ])
+    end
+    else begin
+      feat ctx "break";
+      (env, [ Ast.If (gen_cond ctx env, [ Ast.Break ], []) ])
+    end
+  | _ when env.vars <> [] ->
+    (env, [ Ast.Assign (pick ctx env.vars, gen_expr ctx env ctx.cfg.max_expr_depth) ])
+  | _ ->
+    let v = fresh ctx "t" in
+    ({ env with vars = v :: env.vars }, [ Ast.Decl (v, gen_expr ctx env ctx.cfg.max_expr_depth) ])
+
+and gen_loop ctx env ~depth =
+  ctx.loops <- ctx.loops + 1;
+  if ctx.cfg.allow_while && Rng.int ctx.rng 4 = 0 then gen_while ctx env ~depth
+  else gen_for ctx env ~depth
+
+and gen_for ctx env ~depth =
+  feat ctx "for";
+  let i = fresh ctx "i" in
+  let lo = Rng.int ctx.rng 2 in
+  let hi = lo + 2 + Rng.int ctx.rng (max 1 (ctx.cfg.max_trip - 1)) in
+  let step = if Rng.int ctx.rng 4 = 0 then 2 else 1 in
+  let body = gen_block ctx { env with ro = i :: env.ro } ~depth:(depth - 1) ~in_loop:In_for in
+  [
+    Ast.For
+      ( Ast.Decl (i, Ast.Int lo),
+        Ast.Binop (Ast.Lt, Ast.Var i, Ast.Int hi),
+        Ast.Assign (i, Ast.Binop (Ast.Add, Ast.Var i, Ast.Int step)),
+        body );
+  ]
+
+and gen_while ctx env ~depth =
+  feat ctx "while";
+  let w = fresh ctx "w" in
+  let trips = 2 + Rng.int ctx.rng (max 1 (ctx.cfg.max_trip - 1)) in
+  (* the counter is read-only inside the body; the single decrement is
+     appended last, so the loop always terminates (break only hastens
+     that, and continue is never generated under a while) *)
+  let body = gen_block ctx { env with ro = w :: env.ro } ~depth:(depth - 1) ~in_loop:In_while in
+  [
+    Ast.Decl (w, Ast.Int trips);
+    Ast.While
+      ( Ast.Binop (Ast.Gt, Ast.Var w, Ast.Int 0),
+        body @ [ Ast.Assign (w, Ast.Binop (Ast.Sub, Ast.Var w, Ast.Int 1)) ] );
+  ]
+
+(* ---- whole programs ---- *)
+
+let array_sizes = [| 4; 8; 16 |]
+
+let generate ?(cfg = default_cfg) seed =
+  let ctx =
+    { rng = Rng.create (0x5eed + seed); feats = Hashtbl.create 16; fresh = 0; cfg; loops = 0 }
+  in
+  (* parameters: 1..max_arrays arrays, occasionally one scalar *)
+  let n_arrays = 1 + Rng.int ctx.rng (max 1 cfg.max_arrays) in
+  let arrays =
+    List.init n_arrays (fun k ->
+        let name = String.make 1 (Char.chr (Char.code 'a' + k)) in
+        (name, array_sizes.(Rng.int ctx.rng (Array.length array_sizes))))
+  in
+  let scalar =
+    if Rng.int ctx.rng 4 = 0 then begin
+      feat ctx "scalar-arg";
+      Some ("n", 1 + Rng.int ctx.rng 15)
+    end
+    else None
+  in
+  let params =
+    List.map (fun (a, sz) -> Ast.Array (a, sz)) arrays
+    @ (match scalar with Some (n, _) -> [ Ast.Scalar n ] | None -> [])
+  in
+  (* accumulators: the reduction targets every block can assign *)
+  let n_accs = 1 + Rng.int ctx.rng 2 in
+  let accs = List.init n_accs (fun _ -> fresh ctx "s") in
+  let acc_decls = List.map (fun s -> Ast.Decl (s, gen_const ctx)) accs in
+  let env =
+    { vars = accs; ro = (match scalar with Some (n, _) -> [ n ] | None -> []); arrays }
+  in
+  (* body: 1..max_constructs loop constructs (10% of programs are
+     loop-free: straight-line + ifs only, the acyclic-circuit case) *)
+  let loop_free = Rng.int ctx.rng 10 = 0 in
+  let n_constructs = 1 + Rng.int ctx.rng (max 1 cfg.max_constructs) in
+  let body =
+    if loop_free then begin
+      feat ctx "loop-free";
+      ctx.loops <- max_loops;  (* no loops even from nested statement draws *)
+      List.concat
+        (List.init n_constructs (fun _ -> snd (gen_stmt ctx env ~depth:1 ~in_loop:Not_in_loop)))
+    end
+    else List.concat (List.init n_constructs (fun _ -> gen_loop ctx env ~depth:cfg.max_depth))
+  in
+  (* return: fold the accumulators together, sometimes with a load *)
+  let ret =
+    let base =
+      List.fold_left
+        (fun e s -> Ast.Binop (Ast.Add, e, Ast.Var s))
+        (Ast.Var (List.hd accs)) (List.tl accs)
+    in
+    if Rng.int ctx.rng 3 = 0 then Ast.Binop (Ast.Add, base, gen_load ctx { env with ro = [] })
+    else base
+  in
+  let func =
+    {
+      Ast.fname = Printf.sprintf "fz%d" seed;
+      params;
+      body = acc_decls @ body @ [ Ast.Return ret ];
+    }
+  in
+  let source = Format.asprintf "%a" Ast.pp_func func in
+  let memories =
+    List.map (fun (a, sz) -> (a, Array.init sz (fun _ -> Rng.int ctx.rng 256))) arrays
+  in
+  let args = match scalar with Some (n, v) -> [ (n, v) ] | None -> [] in
+  let features =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.feats []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { seed; func; source; args; memories; features }
+
+let fresh_memories p = List.map (fun (n, a) -> (n, Array.copy a)) p.memories

@@ -1,0 +1,57 @@
+(** Seeded mini-C program generator: the fuzzer's scenario factory.
+
+    [generate seed] deterministically produces a small, always-terminating
+    kernel in the exact dialect the front end accepts — counted [for]
+    loops (optionally nested), decrementing [while] loops, nested
+    [if]/[else], reductions into accumulator variables, stores and loads
+    with mixed access patterns (sequential, offset, strided, reversed,
+    indirect [a\[b\[i\]\]]), ternaries, bitwise and shift operators, and
+    occasional [break]/[continue] — together with seeded input memories
+    and a feature histogram for coverage reporting.
+
+    Guarantees, relied on by the fuzz oracles ({!module:Fuzz}):
+    - {b determinism}: the same seed yields byte-identical source, the
+      same memories and the same features, on any domain and at any
+      worker-pool width (all randomness flows through one
+      {!Support.Rng} stream seeded from [seed]);
+    - {b round-trip}: [Parser.parse source] re-reads the exact AST
+      ([source] is [Ast.pp_func] output, which parenthesises fully);
+    - {b termination}: loop counters are never assigned inside their
+      own body, [for] bounds and [while] counters are compile-time
+      constants, so the interpreter, the elastic simulation and every
+      flow stage see a finite workload;
+    - {b scope discipline}: every declaration gets a fresh name and is
+      only used inside the declaring block, so the interpreter's flat
+      store and the compiler's lexical environments agree. *)
+
+type cfg = {
+  max_constructs : int;  (** top-level loop/if constructs (default 2) *)
+  max_depth : int;       (** loop/if nesting depth (default 2) *)
+  max_expr_depth : int;  (** expression tree depth (default 3) *)
+  max_body_stmts : int;  (** statements per block (default 2) *)
+  max_trip : int;        (** loop trip count ceiling (default 6) *)
+  max_arrays : int;      (** array parameters (default 2, sizes 4/8/16) *)
+  allow_while : bool;
+  allow_break : bool;    (** conditional break/continue inside loops *)
+}
+
+val default_cfg : cfg
+
+type program = {
+  seed : int;
+  func : Ast.func;
+  source : string;                    (** pretty-printed, re-parseable *)
+  args : (string * int) list;         (** scalar-parameter bindings *)
+  memories : (string * int array) list;  (** seeded input data *)
+  features : (string * int) list;     (** sorted coverage histogram *)
+}
+
+val generate : ?cfg:cfg -> int -> program
+
+val fresh_memories : program -> (string * int array) list
+(** A deep copy of [memories] — the interpreter and the simulator both
+    mutate stores in place, so every consumer needs its own arrays. *)
+
+val feature_keys : string list
+(** Every histogram key {!generate} can emit (fixed order), so reports
+    can print zero rows for uncovered features. *)

@@ -10,7 +10,13 @@ type token =
   | EQ | NE | LT | LE | GT | GE
   | EOF
 
-exception Error of string * int
+type pos = { line : int; col : int; offset : int }
+
+let dummy_pos = { line = 0; col = 0; offset = 0 }
+
+exception Error of string * pos
+
+let pp_pos fmt p = Format.fprintf fmt "line %d, column %d" p.line p.col
 
 let is_digit c = c >= '0' && c <= '9'
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -27,54 +33,76 @@ let keyword = function
   | "continue" -> Some CONTINUE
   | _ -> None
 
-let tokenize src =
+let tokenize_pos src =
   let n = String.length src in
   let tokens = ref [] in
-  let emit t = tokens := t :: !tokens in
   let i = ref 0 in
+  let line = ref 1 in
+  (* byte offset where the current line starts: column = offset - bol + 1 *)
+  let bol = ref 0 in
+  let here () = { line = !line; col = !i - !bol + 1; offset = !i } in
+  let newline () =
+    incr line;
+    bol := !i
+  in
+  let emit_at p t = tokens := (t, p) :: !tokens in
   while !i < n do
     let c = src.[!i] in
-    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    if c = '\n' then begin
+      incr i;
+      newline ()
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
       while !i < n && src.[!i] <> '\n' do
         incr i
       done
     end
     else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start = here () in
       i := !i + 2;
       let closed = ref false in
-      while (not !closed) && !i + 1 < n do
-        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = '/' then begin
           closed := true;
           i := !i + 2
         end
-        else incr i
+        else begin
+          if src.[!i] = '\n' then begin
+            incr i;
+            newline ()
+          end
+          else incr i
+        end
       done;
-      if not !closed then raise (Error ("unterminated comment", !i))
+      if not !closed then raise (Error ("unterminated comment", start))
     end
     else if is_digit c then begin
+      let p = here () in
       let start = !i in
       while !i < n && is_digit src.[!i] do
         incr i
       done;
-      emit (NUM (int_of_string (String.sub src start (!i - start))))
+      emit_at p (NUM (int_of_string (String.sub src start (!i - start))))
     end
     else if is_ident_start c then begin
+      let p = here () in
       let start = !i in
       while !i < n && is_ident src.[!i] do
         incr i
       done;
       let word = String.sub src start (!i - start) in
-      emit (match keyword word with Some t -> t | None -> IDENT word)
+      emit_at p (match keyword word with Some t -> t | None -> IDENT word)
     end
     else begin
+      let p = here () in
       let two = if !i + 1 < n then String.sub src !i 2 else "" in
       let adv2 t =
-        emit t;
+        emit_at p t;
         i := !i + 2
       in
       let adv1 t =
-        emit t;
+        emit_at p t;
         incr i
       in
       match two with
@@ -106,10 +134,12 @@ let tokenize src =
         | '!' -> adv1 BANG
         | '<' -> adv1 LT
         | '>' -> adv1 GT
-        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !i)))
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, p)))
     end
   done;
-  List.rev (EOF :: !tokens)
+  List.rev ((EOF, here ()) :: !tokens)
+
+let tokenize src = List.map fst (tokenize_pos src)
 
 let pp_token fmt t =
   let s =

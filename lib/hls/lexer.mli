@@ -12,7 +12,26 @@ type token =
   | EQ | NE | LT | LE | GT | GE
   | EOF
 
-exception Error of string * int  (** message, byte offset *)
+type pos = {
+  line : int;    (** 1-based *)
+  col : int;     (** 1-based column of the token's first character *)
+  offset : int;  (** 0-based byte offset into the source *)
+}
+
+val dummy_pos : pos
+(** [{line = 0; col = 0; offset = 0}], used where no position exists. *)
+
+exception Error of string * pos
+(** Lexical error at a source position (see {!pp_pos}). *)
+
+val pp_pos : Format.formatter -> pos -> unit
+(** ["line L, column C"]. *)
 
 val tokenize : string -> token list
+(** The token stream, always terminated by {!EOF}. *)
+
+val tokenize_pos : string -> (token * pos) list
+(** Like {!tokenize} but each token carries the position of its first
+    character; the final {!EOF} carries the end-of-input position. *)
+
 val pp_token : Format.formatter -> token -> unit

@@ -1,24 +1,27 @@
-exception Error of string
+exception Error of string * Lexer.pos
 
-type state = { mutable toks : Lexer.token list }
+type state = { mutable toks : (Lexer.token * Lexer.pos) list }
 
-let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+let peek st = match st.toks with [] -> Lexer.EOF | (t, _) :: _ -> t
+
+let pos st = match st.toks with [] -> Lexer.dummy_pos | (_, p) :: _ -> p
 
 let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg = raise (Error (msg, pos st))
 
 let expect st t =
   if peek st = t then advance st
   else
-    raise
-      (Error
-         (Format.asprintf "expected %a but found %a" Lexer.pp_token t Lexer.pp_token (peek st)))
+    fail st
+      (Format.asprintf "expected %a but found %a" Lexer.pp_token t Lexer.pp_token (peek st))
 
 let ident st =
   match peek st with
   | Lexer.IDENT s ->
     advance st;
     s
-  | t -> raise (Error (Format.asprintf "expected identifier, found %a" Lexer.pp_token t))
+  | t -> fail st (Format.asprintf "expected identifier, found %a" Lexer.pp_token t)
 
 (* ---- expressions, precedence climbing ---- *)
 
@@ -47,7 +50,7 @@ let rec primary st =
       expect st Lexer.RBRACKET;
       Ast.Load (name, idx)
     | _ -> Ast.Var name)
-  | t -> raise (Error (Format.asprintf "unexpected token %a in expression" Lexer.pp_token t))
+  | t -> fail st (Format.asprintf "unexpected token %a in expression" Lexer.pp_token t)
 
 and mul_expr st =
   let rec loop acc =
@@ -151,8 +154,8 @@ let rec simple_stmt st =
       advance st;
       let e = expr st in
       Ast.Assign (name, e)
-    | t -> raise (Error (Format.asprintf "unexpected %a after identifier" Lexer.pp_token t)))
-  | t -> raise (Error (Format.asprintf "unexpected %a at statement start" Lexer.pp_token t))
+    | t -> fail st (Format.asprintf "unexpected %a after identifier" Lexer.pp_token t))
+  | t -> fail st (Format.asprintf "unexpected %a at statement start" Lexer.pp_token t)
 
 and block st =
   expect st Lexer.LBRACE;
@@ -216,7 +219,7 @@ and stmt st =
     s
 
 let parse src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = { toks = Lexer.tokenize_pos src } in
   expect st Lexer.INT_KW;
   let fname = ident st in
   expect st Lexer.LPAREN;
@@ -238,16 +241,21 @@ let parse src =
           | Lexer.NUM n ->
             advance st;
             n
-          | t -> raise (Error (Format.asprintf "expected array size, found %a" Lexer.pp_token t))
+          | t -> fail st (Format.asprintf "expected array size, found %a" Lexer.pp_token t)
         in
         expect st Lexer.RBRACKET;
         params (Ast.Array (name, size) :: acc)
       | _ -> params (Ast.Scalar name :: acc))
-    | t -> raise (Error (Format.asprintf "unexpected %a in parameter list" Lexer.pp_token t))
+    | t -> fail st (Format.asprintf "unexpected %a in parameter list" Lexer.pp_token t)
   in
   let params = params [] in
   let body = block st in
   (match peek st with
   | Lexer.EOF -> ()
-  | t -> raise (Error (Format.asprintf "trailing input: %a" Lexer.pp_token t)));
+  | t -> fail st (Format.asprintf "trailing input: %a" Lexer.pp_token t));
   { Ast.fname; params; body }
+
+let error_message = function
+  | Error (msg, p) | Lexer.Error (msg, p) ->
+    Some (Format.asprintf "%a: %s" Lexer.pp_pos p msg)
+  | _ -> None

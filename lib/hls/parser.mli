@@ -15,7 +15,14 @@
             | 'return' expr ';'
     v} *)
 
-exception Error of string
+exception Error of string * Lexer.pos
+(** Syntax error: what was wrong, and the line/column of the offending
+    token (see {!Lexer.pp_pos}). *)
 
 val parse : string -> Ast.func
-(** Raises [Error] or [Lexer.Error] on malformed input. *)
+(** Raises {!Error} or {!Lexer.Error} on malformed input; both carry the
+    source position where parsing failed. *)
+
+val error_message : exn -> string option
+(** [Some "line L, column C: <msg>"] for {!Error} and {!Lexer.Error};
+    [None] for any other exception. The rendering used by the CLI. *)

@@ -26,9 +26,13 @@ let pad_bv net ~owner bv width =
     Array.init width (fun i ->
         if i < Array.length bv then bv.(i) else Net.const net ~owner ~dom:Net.Data false)
 
-(* Align a list of operand vectors on their maximum width. *)
-let align_operands net ~owner args =
-  let w = List.fold_left (fun acc a -> max acc (Array.length a)) 0 args in
+(* Align a list of operand vectors on their maximum width — at least
+   [min_width], the result width for arithmetic: a subtraction of two
+   1-bit comparison outputs must borrow through the full result width
+   (0 - 1 = -1, not 1 mod 2), and the multiplier's row walk indexes the
+   operand vectors by result bit position. *)
+let align_operands ?(min_width = 0) net ~owner args =
+  let w = List.fold_left (fun acc a -> max acc (Array.length a)) min_width args in
   List.map (fun a -> pad_bv net ~owner a w) args
 
 (* Zero-extend or truncate a computed bit-vector onto channel wires. *)
@@ -338,7 +342,10 @@ let elaborate_unit net g (n : G.node) wires =
         (match all with
         | cond :: arms -> [ cond ] @ align_operands net ~owner arms
         | [] -> [])
-      | _ -> align_operands net ~owner (Array.to_list (Array.map (fun i -> i.d_data) ins))
+      | _ ->
+        align_operands net ~owner
+          ~min_width:(Array.length o.s_data)
+          (Array.to_list (Array.map (fun i -> i.d_data) ins))
     in
     drive_bv net ~owner o.s_data (Datapath.of_op net ~owner op args)
   | K.Operator { op; latency; _ } ->
@@ -363,7 +370,10 @@ let elaborate_unit net g (n : G.node) wires =
       match op with
       | Dataflow.Ops.Mul ->
         let a, b =
-          match align_operands net ~owner [ ins.(0).d_data; ins.(1).d_data ] with
+          match
+            align_operands net ~owner ~min_width:(max 1 width)
+              [ ins.(0).d_data; ins.(1).d_data ]
+          with
           | [ a; b ] -> (a, b)
           | _ -> assert false
         in
@@ -390,7 +400,8 @@ let elaborate_unit net g (n : G.node) wires =
       | _ ->
         let comb =
           Datapath.of_op net ~owner op
-            (align_operands net ~owner (Array.to_list (Array.map (fun i -> i.d_data) ins)))
+            (align_operands net ~owner ~min_width:width
+               (Array.to_list (Array.map (fun i -> i.d_data) ins)))
         in
         let r = ref comb in
         for _ = 1 to latency do

@@ -23,4 +23,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("gatelevel", Test_gatelevel.suite);
       ("cache", Test_cache.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
