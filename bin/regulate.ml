@@ -54,6 +54,38 @@ let cycle_cap_arg =
   in
   Arg.(value & opt (some int) None & info [ "cycle-cap" ] ~docv:"N" ~doc)
 
+let milp_nodes_arg =
+  let doc =
+    "Per-solve MILP branch-and-bound node budget (default 50000). A solve that exhausts it \
+     fails with a clean $(b,node budget exhausted) error instead of running unbounded."
+  in
+  let nodes_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ -> Error (`Msg "--milp-nodes must be >= 1")
+      | None -> Error (`Msg (Printf.sprintf "--milp-nodes: expected an integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some nodes_conv) None & info [ "milp-nodes" ] ~docv:"N" ~doc)
+
+let milp_budget_arg =
+  let doc =
+    "Per-solve MILP wall-clock budget in seconds (default 120). Exhaustion is reported like a \
+     node-budget blowout: a clean error, never a hang."
+  in
+  let budget_conv =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f > 0. -> Ok f
+      | Some _ -> Error (`Msg "--milp-budget-s must be > 0")
+      | None -> Error (`Msg (Printf.sprintf "--milp-budget-s: expected a number, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
+  Arg.(value & opt (some budget_conv) None & info [ "milp-budget-s" ] ~docv:"SECONDS" ~doc)
+
 (* Enable the artifact cache around [f] when a directory was configured
    (flag first, then $REPRO_CACHE); the session's counters are appended
    to the store's stats.log whichever way [f] exits. *)
@@ -160,7 +192,17 @@ let flow_cmd =
              exhaustive evaluation of the offending LUT cone (the cheap signature gates always \
              run).")
   in
-  let run name flavor levels routing slack balance tv_exact trace cache_dir =
+  let digest =
+    Arg.(
+      value & flag
+      & info [ "digest" ]
+          ~doc:
+            "Also print $(b,digest=)$(i,HEX): the canonical digest of the flow outcome (circuit \
+             plus every per-iteration decision), byte-comparable against the $(b,done) events of \
+             `regulate serve`.")
+  in
+  let run name flavor levels routing slack balance tv_exact digest milp_nodes milp_budget_s
+      trace cache_dir =
     let k = Hls.Kernels.by_name name in
     let config =
       {
@@ -179,7 +221,10 @@ let flow_cmd =
     in
     with_cache cache_dir @@ fun () ->
     traced ~name:"regulate:flow" trace @@ fun () ->
-    let metrics, outcome = Core.Experiment.run_flow ~config ~flavor k in
+    let session =
+      Core.Session.make ~cache:(Cache.Control.session ()) ?milp_nodes ?milp_budget_s ()
+    in
+    let metrics, outcome = Core.Experiment.run_flow ~config ~session ~flavor k in
     List.iter
       (fun (it : Core.Flow.iteration) ->
         Printf.printf
@@ -201,14 +246,15 @@ let flow_cmd =
       metrics.Core.Experiment.levels levels metrics.Core.Experiment.met_target
       metrics.Core.Experiment.buffers metrics.Core.Experiment.cp metrics.Core.Experiment.cycles
       metrics.Core.Experiment.exec_ns metrics.Core.Experiment.luts metrics.Core.Experiment.ffs
-      metrics.Core.Experiment.value_ok
+      metrics.Core.Experiment.value_ok;
+    if digest then Printf.printf "digest=%s\n" (Serve.Protocol.outcome_digest outcome)
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Run one buffering flow on one kernel.")
     (Term.term_result
        Term.(
          const run $ kernels_arg $ flavor $ levels $ routing $ slack $ balance $ tv_exact
-         $ trace_arg $ cache_dir_arg))
+         $ digest $ milp_nodes_arg $ milp_budget_arg $ trace_arg $ cache_dir_arg))
 
 (* ---- export ---- *)
 
@@ -819,13 +865,27 @@ let compare_cmd =
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc:"Kernels (default: all nine).")
   in
-  let run names jobs trace cache_dir =
+  let run names milp_nodes milp_budget_s jobs trace cache_dir =
     let names =
       match dedupe_kernel_names ~cli:"regulate" names with [] -> None | names -> Some names
     in
+    (* budgets land in the flow config, so the per-task ambient sessions
+       the pool workers build see them uniformly *)
+    let base = Core.Flow.default_config in
+    let milp =
+      {
+        base.Core.Flow.milp with
+        Buffering.Formulation.node_limit =
+          Option.value milp_nodes ~default:base.Core.Flow.milp.Buffering.Formulation.node_limit;
+        time_limit =
+          Option.value milp_budget_s
+            ~default:base.Core.Flow.milp.Buffering.Formulation.time_limit;
+      }
+    in
+    let config = { base with Core.Flow.milp } in
     with_cache cache_dir @@ fun () ->
     traced ~name:"regulate:compare" trace @@ fun () ->
-    let rows = Core.Experiment.run_all_parallel ~jobs ?names () in
+    let rows = Core.Experiment.run_all_parallel ~config ~jobs ?names () in
     Core.Report.table1 Format.std_formatter rows;
     Format.print_newline ();
     Core.Report.figure5 Format.std_formatter rows;
@@ -834,7 +894,10 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Reproduce Table I / Figure 5 for the given kernels.")
-    (Term.term_result Term.(const run $ names $ jobs_arg $ trace_arg $ cache_dir_arg))
+    (Term.term_result
+       Term.(
+         const run $ names $ milp_nodes_arg $ milp_budget_arg $ jobs_arg $ trace_arg
+         $ cache_dir_arg))
 
 (* ---- cache ---- *)
 
@@ -898,6 +961,282 @@ let cache_cmd =
        ~doc:"Inspect and maintain the artifact cache (see --cache-dir / REPRO_CACHE).")
     [ stats_cmd; gc_cmd; clear_cmd ]
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve on a Unix-domain socket bound at $(docv) (any number of concurrent clients) \
+             instead of line-delimited JSON on stdin/stdout.")
+  in
+  let queue_limit =
+    let doc =
+      "Admission control: the maximum number of accepted-but-unfinished compile requests \
+       (default 8). Requests beyond it are rejected with $(b,server-busy), not queued \
+       unboundedly."
+    in
+    let limit_conv =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | Some _ -> Error (`Msg "--queue-limit must be >= 1")
+        | None -> Error (`Msg (Printf.sprintf "--queue-limit: expected an integer, got %S" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(value & opt limit_conv 8 & info [ "queue-limit" ] ~docv:"N" ~doc)
+  in
+  let levels =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "levels" ] ~docv:"N"
+          ~doc:"Server-wide target logic levels (requests may override per request).")
+  in
+  let run socket jobs queue_limit levels milp_nodes milp_budget_s cache_dir =
+    (* the daemon owns its cache session outright: no process-global
+       Cache.Control state is involved, which is what lets one process
+       serve concurrent requests against one shared store *)
+    match
+      match Cache.Control.resolve_dir ~flag:cache_dir with
+      | None -> Ok Cache.Session.disabled
+      | Some d -> (
+        match Cache.Session.of_dir d with
+        | s -> Ok s
+        | exception Sys_error msg -> Error (`Msg ("--cache-dir: " ^ msg)))
+    with
+    | Error _ as e -> e
+    | Ok cache ->
+      let cfg =
+        {
+          Serve.Server.default_config with
+          Serve.Server.jobs;
+          queue_limit;
+          levels;
+          milp_nodes;
+          milp_budget_s;
+          cache;
+        }
+      in
+      let t = Serve.Server.create cfg in
+      (match socket with
+      | None -> Serve.Server.serve_channels t stdin stdout
+      | Some path ->
+        Printf.eprintf "[serve] listening on %s (jobs=%d queue=%d cache=%s)\n%!" path jobs
+          queue_limit
+          (match Cache.Session.store cache with Some s -> Cache.Store.dir s | None -> "off");
+        Serve.Server.serve_socket t path);
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile daemon: kernel-compilation requests as line-delimited JSON over \
+          stdin/stdout or a Unix-domain socket, served concurrently on a worker pool sharing \
+          one artifact cache. Responses carry the outcome digest, phi vs the certified bound \
+          and measured metrics; budget blowouts and malformed requests are structured errors, \
+          never crashes.")
+    (Term.term_result
+       Term.(
+         const run $ socket $ jobs_arg $ queue_limit $ levels $ milp_nodes_arg $ milp_budget_arg
+         $ cache_dir_arg))
+
+(* ---- loadgen ---- *)
+
+let loadgen_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+  in
+  let count =
+    let count_conv =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | Some _ -> Error (`Msg "-n must be >= 1")
+        | None -> Error (`Msg (Printf.sprintf "-n: expected an integer, got %S" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(value & opt count_conv 200 & info [ "n"; "requests" ] ~docv:"N" ~doc:"Request count (default 200).")
+  in
+  let window =
+    Arg.(
+      value & opt int 4
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Pipelining window: at most $(docv) requests outstanding (default 4). Keep it at or \
+             below the daemon's --queue-limit or requests bounce off admission control.")
+  in
+  let kernels =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"KERNEL" ~doc:"Kernels to cycle through (default: gsum).")
+  in
+  let flavor =
+    let flavor_conv = Arg.enum [ ("iterative", `Iterative); ("baseline", `Baseline) ] in
+    Arg.(
+      value & opt flavor_conv `Iterative
+      & info [ "flavor" ] ~docv:"FLAVOR" ~doc:"iterative or baseline.")
+  in
+  let levels =
+    Arg.(
+      value & opt (some int) None & info [ "levels" ] ~docv:"N" ~doc:"Per-request target levels.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the latency/throughput/hit-rate summary as one JSON object to $(docv).")
+  in
+  let compare_oneshot =
+    Arg.(
+      value & flag
+      & info [ "compare-oneshot" ]
+          ~doc:
+            "Also run every distinct request shape through sequential one-shot $(b,regulate \
+             flow --digest) processes and report the daemon's speedup; exits non-zero if any \
+             served digest differs from its one-shot digest.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Send a shutdown to the daemon afterwards.")
+  in
+  let run socket count window kernels flavor levels milp_nodes milp_budget_s json
+      compare_oneshot shutdown =
+    let kernels = match kernels with [] -> [ "gsum" ] | ks -> ks in
+    match
+      List.find_opt (fun n -> match Hls.Kernels.by_name n with _ -> false | exception Not_found -> true) kernels
+    with
+    | Some bad -> Error (`Msg (Printf.sprintf "unknown kernel %S (see `regulate list`)" bad))
+    | None ->
+      let nk = List.length kernels in
+      let requests =
+        List.init count (fun i ->
+            {
+              Serve.Protocol.id = Printf.sprintf "r%d" (i + 1);
+              kernel = Some (List.nth kernels (i mod nk));
+              source = None;
+              flavor;
+              levels;
+              milp_nodes;
+              milp_budget_s;
+            })
+      in
+      let res = Serve.Loadgen.run ~window ~socket requests in
+      Printf.printf
+        "loadgen: %d sent, %d completed, %d errors, %d rejected, %d cancelled in %.2fs\n"
+        res.Serve.Loadgen.l_sent res.Serve.Loadgen.l_completed res.Serve.Loadgen.l_errors
+        res.Serve.Loadgen.l_rejected res.Serve.Loadgen.l_cancelled res.Serve.Loadgen.l_wall_s;
+      Printf.printf "latency: mean=%.1fms p50=%.1fms p99=%.1fms; throughput=%.2f req/s\n"
+        res.Serve.Loadgen.l_mean_ms res.Serve.Loadgen.l_p50_ms res.Serve.Loadgen.l_p99_ms
+        res.Serve.Loadgen.l_throughput;
+      Printf.printf "cache: %d hits, %d misses (hit rate %.3f)\n" res.Serve.Loadgen.l_hits
+        res.Serve.Loadgen.l_misses
+        (Serve.Protocol.hit_rate res.Serve.Loadgen.l_hits res.Serve.Loadgen.l_misses);
+      let comparison =
+        if not compare_oneshot then Ok []
+        else begin
+          (* one sequential cold process per distinct request shape: the
+             workflow the daemon replaces. Digests must agree shape by
+             shape with everything the daemon served. *)
+          let shape (r : Serve.Protocol.request) = { r with Serve.Protocol.id = "" } in
+          let distinct =
+            List.fold_left
+              (fun acc r -> if List.mem (shape r) (List.map shape acc) then acc else r :: acc)
+              [] requests
+            |> List.rev
+          in
+          let one = Serve.Loadgen.run_oneshot ~exe:Sys.executable_name distinct in
+          let oneshot_rps =
+            if one.Serve.Loadgen.o_wall_s > 0. then
+              float_of_int (List.length distinct) /. one.Serve.Loadgen.o_wall_s
+            else 0.
+          in
+          let speedup =
+            if oneshot_rps > 0. then res.Serve.Loadgen.l_throughput /. oneshot_rps else 0.
+          in
+          let mismatches =
+            List.filter
+              (fun (id, d) ->
+                match
+                  List.find_opt
+                    (fun (r : Serve.Protocol.request) -> r.Serve.Protocol.id = id)
+                    requests
+                with
+                | None -> false
+                | Some r ->
+                  let s = shape r in
+                  List.exists
+                    (fun (oid, od) ->
+                      (match
+                         List.find_opt
+                           (fun (r' : Serve.Protocol.request) -> r'.Serve.Protocol.id = oid)
+                           distinct
+                       with
+                      | Some r' -> shape r' = s
+                      | None -> false)
+                      && od <> d)
+                    one.Serve.Loadgen.o_digests)
+              res.Serve.Loadgen.l_digests
+          in
+          Printf.printf
+            "one-shot: %d distinct runs in %.2fs (%.3f req/s) -> daemon speedup x%.1f\n"
+            (List.length distinct) one.Serve.Loadgen.o_wall_s oneshot_rps speedup;
+          if mismatches = [] then begin
+            Printf.printf "digests: all %d served results byte-identical to one-shot runs\n"
+              (List.length res.Serve.Loadgen.l_digests);
+            Ok
+              [
+                ("oneshot_rps", Serve.Json.Num oneshot_rps);
+                ("speedup", Serve.Json.Num speedup);
+                ("digests_match", Serve.Json.Bool true);
+              ]
+          end
+          else
+            Error
+              (`Msg
+                (Printf.sprintf "digest mismatch on %d request(s), e.g. %s"
+                   (List.length mismatches)
+                   (fst (List.hd mismatches))))
+        end
+      in
+      Result.bind comparison @@ fun extra ->
+      (match json with
+      | None -> ()
+      | Some path ->
+        Support.Trace.ensure_parent_dir path;
+        Out_channel.with_open_text path (fun oc ->
+            let base =
+              match Serve.Loadgen.result_to_json res with
+              | Serve.Json.Obj kvs -> kvs
+              | j -> [ ("result", j) ]
+            in
+            output_string oc (Serve.Json.to_string (Serve.Json.Obj (base @ extra)));
+            output_char oc '\n');
+        Printf.printf "summary written to %s\n" path);
+      if shutdown then Serve.Loadgen.shutdown ~socket;
+      if res.Serve.Loadgen.l_completed < res.Serve.Loadgen.l_sent then
+        Error (`Msg "not every request completed (errors, rejections or cancellations above)")
+      else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a serving daemon with a pipelined request stream and report client-observed \
+          p50/p99 latency, throughput and the cache hit rate; optionally race it against \
+          sequential one-shot flows and cross-check outcome digests.")
+    (Term.term_result
+       Term.(
+         const run $ socket $ count $ window $ kernels $ flavor $ levels $ milp_nodes_arg
+         $ milp_budget_arg $ json $ compare_oneshot $ shutdown))
+
 let () =
   let doc = "Mapping-aware iterative buffer placement for dataflow circuits (DAC'23 reproduction)." in
   let info = Cmd.info "regulate" ~version:"1.0" ~doc in
@@ -917,4 +1256,6 @@ let () =
             profile_cmd;
             compile_cmd;
             fuzz_cmd;
+            serve_cmd;
+            loadgen_cmd;
           ]))

@@ -8,10 +8,18 @@ type config = {
   beta : float;
   use_penalty : bool;
   node_limit : int;
+  time_limit : float;
 }
 
 let default_config =
-  { cp_target = 4.2; alpha = 10.; beta = 0.05; use_penalty = true; node_limit = 20_000 }
+  {
+    cp_target = 4.2;
+    alpha = 10.;
+    beta = 0.05;
+    use_penalty = true;
+    node_limit = 20_000;
+    time_limit = 120.;
+  }
 
 type placement = {
   new_buffers : G.channel_id list;
@@ -26,7 +34,8 @@ type placement = {
   solution : float array;
 }
 
-let solve ?warm cfg g (model : M.t) cfdfcs =
+let solve ?cache ?warm cfg g (model : M.t) cfdfcs =
+  let cache = match cache with Some c -> c | None -> Cache.Control.session () in
   let lp = Milp.Lp.create (G.name g ^ "_buffering") in
   let cp = cfg.cp_target in
   let unfixable = ref 0 in
@@ -284,7 +293,8 @@ let solve ?warm cfg g (model : M.t) cfdfcs =
         with_fixed_rs (fun _ v -> x.(v) > 1e-4) solve_fixed
       | None, _ -> None
     in
-    Milp.Bb.solve ~node_limit:cfg.node_limit ?initial ?warm:root_basis ~cert_bound lp
+    Milp.Bb.solve ~node_limit:cfg.node_limit ~time_limit:cfg.time_limit ?initial
+      ?warm:root_basis ~cert_bound lp
   in
   (* The solved assignment is memoized on the canonical hash of the
      formulation itself (plus the search budget): a warm run skips both
@@ -294,14 +304,20 @@ let solve ?warm cfg g (model : M.t) cfdfcs =
      that somehow served a wrong assignment would be flagged, not
      silently trusted. *)
   let bb_result =
-    if Cache.Control.enabled () then
+    if Cache.Session.enabled cache then
       let key =
         (* the warm hint participates in the key: among equal-objective
            optima branch & bound returns the first one found, which a
            different incumbent seed can legitimately change — the cache
-           must not serve a differently-seeded run's assignment *)
+           must not serve a differently-seeded run's assignment. The
+           search budgets participate too: a tighter budget can stop at
+           a weaker incumbent, and an entry computed under one budget
+           must not answer for another. *)
         Cache.Hash.combine
-          ([ Cache.Hash.lp lp; Printf.sprintf "node_limit=%d" cfg.node_limit ]
+          ([
+             Cache.Hash.lp lp;
+             Printf.sprintf "node_limit=%d;time_limit=%g" cfg.node_limit cfg.time_limit;
+           ]
           @
           match warm with
           | None -> []
@@ -312,7 +328,7 @@ let solve ?warm cfg g (model : M.t) cfdfcs =
                   (List.map string_of_int (List.sort_uniq compare buffered));
             ])
       in
-      Cache.Control.memo ~kind:"milp" ~key run_solver
+      Cache.Session.memo cache ~kind:"milp" ~key run_solver
     else run_solver ()
   in
   match bb_result with

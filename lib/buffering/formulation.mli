@@ -24,7 +24,10 @@ type config = {
   alpha : float;
   beta : float;
   use_penalty : bool;
-  node_limit : int;     (** branch & bound budget *)
+  node_limit : int;     (** branch & bound node budget *)
+  time_limit : float;
+      (** branch & bound wall-clock budget, seconds (default 120; the
+          [regulate serve] admission control narrows it per request) *)
 }
 
 val default_config : config
@@ -45,13 +48,17 @@ type placement = {
 }
 
 val solve :
+  ?cache:Cache.Session.t ->
   ?warm:Dataflow.Graph.channel_id list ->
   config ->
   Dataflow.Graph.t ->
   Timing.Model.t ->
   Cfdfc.t list ->
   (placement, string) result
-(** [warm] is the previous flow iteration's [all_buffered] placement: it
+(** [cache] is the session whose artifact store memoizes the solved
+    assignment (default {!Cache.Control.session}, the ambient CLI
+    cache). [warm] is the previous flow iteration's [all_buffered]
+    placement: it
     is re-priced under the current model (every listed [R_c] pinned to
     1, the rest to 0, one warm-started LP over the continuous variables)
     and, when feasible, seeds branch & bound's incumbent in place of the

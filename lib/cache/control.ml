@@ -3,6 +3,8 @@ let store : Store.t option Atomic.t = Atomic.make None
 let active () = Atomic.get store
 let enabled () = active () <> None
 
+let session () = match active () with None -> Session.disabled | Some s -> Session.of_store s
+
 let enable ?mem_bytes dir =
   let s = Store.open_dir ?mem_bytes dir in
   Atomic.set store (Some s);
@@ -22,13 +24,4 @@ let dir_from_env () =
 
 let resolve_dir ~flag = match flag with Some _ -> flag | None -> dir_from_env ()
 
-let memo ~kind ~key f =
-  match active () with
-  | None -> f ()
-  | Some s -> (
-    match Store.get s ~kind ~key with
-    | Some payload -> Marshal.from_string payload 0
-    | None ->
-      let v = f () in
-      Store.put s ~kind ~key (Marshal.to_string v []);
-      v)
+let memo ~kind ~key f = Session.memo (session ()) ~kind ~key f

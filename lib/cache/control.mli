@@ -1,18 +1,25 @@
-(** Process-global cache activation and memoization.
+(** The process-global ambient cache: a thin shim for the one-shot CLIs.
 
-    Like {!Support.Trace}, the cache is a process-global switch rather
-    than a parameter threaded through every stage: the CLIs enable it
-    once (from [--cache-dir] or the [REPRO_CACHE] environment variable)
-    and the instrumented hot paths — {!Core.Flow.synth_map}, the
-    pre-characterised unit delays, the MILP solve — consult it with one
-    atomic load. Disabled means every memoized function runs exactly as
-    before, allocating nothing extra.
+    The memoized hot paths — {!Core.Flow.synth_map}, the
+    pre-characterised unit delays, the MILP solve — all take an explicit
+    {!Session.t} nowadays; this module merely owns {e one} ambient
+    session that the CLIs enable once (from [--cache-dir] or the
+    [REPRO_CACHE] environment variable) and that those paths fall back
+    to when no session was passed. Long-lived multi-request processes
+    (the [regulate serve] daemon) bypass this module entirely and thread
+    their own session-owned store, so no request can observe another's
+    cache-state flips. Disabled means every memoized function runs
+    exactly as before, allocating nothing extra.
 
     Enable/disable from the main domain only, before and after any
     {!Support.Pool} fan-out; {e lookups} are safe from any domain. *)
 
 val enabled : unit -> bool
 val active : unit -> Store.t option
+
+val session : unit -> Session.t
+(** The ambient session: backed by the enabled store, or
+    {!Session.disabled}. Captures the store {e at call time}. *)
 
 val enable : ?mem_bytes:int -> string -> Store.t
 (** Open a store rooted at the directory and make it the process

@@ -1,0 +1,20 @@
+type t = { store : Store.t option }
+
+let disabled = { store = None }
+let of_store s = { store = Some s }
+let of_dir ?mem_bytes dir = of_store (Store.open_dir ?mem_bytes dir)
+let enabled t = t.store <> None
+let store t = t.store
+
+let memo t ~kind ~key f =
+  match t.store with
+  | None -> f ()
+  | Some s -> (
+    match Store.get s ~kind ~key with
+    | Some payload -> Marshal.from_string payload 0
+    | None ->
+      let v = f () in
+      Store.put s ~kind ~key (Marshal.to_string v []);
+      v)
+
+let finish t = match t.store with None -> () | Some s -> Store.finish s

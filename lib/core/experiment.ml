@@ -46,12 +46,12 @@ let measure (outcome : Flow.outcome) kernel =
     value_ok;
   }
 
-let run_flow ?(config = Flow.default_config) ~flavor kernel =
+let run_flow ?(config = Flow.default_config) ?session ~flavor kernel =
   let g = Hls.Kernels.graph kernel in
   let outcome =
     match flavor with
-    | `Baseline -> Flow.baseline ~config g
-    | `Iterative -> Flow.iterative ~config g
+    | `Baseline -> Flow.baseline ~config ?session g
+    | `Iterative -> Flow.iterative ~config ?session g
   in
   (measure outcome kernel, outcome)
 

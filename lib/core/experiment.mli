@@ -27,9 +27,12 @@ type row = {
 
 val run_flow :
   ?config:Flow.config ->
+  ?session:Session.t ->
   flavor:[ `Baseline | `Iterative ] ->
   Hls.Kernels.t ->
   metrics * Flow.outcome
+(** [session] (default {!Session.ambient}) is threaded into the flow:
+    cache handle, MILP budget overrides, cancellation, status sink. *)
 
 val run_kernel : ?config:Flow.config -> Hls.Kernels.t -> row
 

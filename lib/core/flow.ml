@@ -73,22 +73,25 @@ let seed_back_edges g =
    canonical netlist hash plus the two config fields that change the
    mapped result, so warm runs skip AIG construction and cut
    enumeration entirely (cross-iteration, cross-flavor, cross-process
-   hits all share one entry). *)
+   and cross-request hits all share one entry). *)
 let synth_map_net cfg net =
   let synth = Techmap.Synth.run net in
   let synth = if cfg.balance then Techmap.Balance.run synth else synth in
   Techmap.Mapper.run ~k:cfg.lut_k synth
 
-let synth_map cfg g =
+let synth_map ?session cfg g =
   Trace.with_span "flow:synth+map" @@ fun () ->
+  let cache =
+    match session with Some s -> s.Session.cache | None -> Cache.Control.session ()
+  in
   let net = Elaborate.run g in
   let lg =
-    if Cache.Control.enabled () then
+    if Cache.Session.enabled cache then
       let key =
         Cache.Hash.combine
           [ Cache.Hash.netlist net; Printf.sprintf "k=%d;balance=%b" cfg.lut_k cfg.balance ]
       in
-      Cache.Control.memo ~kind:"synthmap" ~key (fun () -> synth_map_net cfg net)
+      Cache.Session.memo cache ~kind:"synthmap" ~key (fun () -> synth_map_net cfg net)
     else synth_map_net cfg net
   in
   (net, lg)
@@ -170,8 +173,10 @@ let certify_placement config audit ~cfdfcs
       Lint.Engine.check_perf ~truncated ~phi cert candidate);
   (cert, List.fold_left Float.min 1. placement.Buffering.Formulation.throughput)
 
-let iterative ?(config = default_config) input =
+let iterative ?(config = default_config) ?session input =
   Trace.with_span "flow:iterative" @@ fun () ->
+  let session = match session with Some s -> s | None -> Session.ambient () in
+  let milp_cfg = Session.milp_config session config.milp in
   let g0 = G.copy input in
   G.clear_buffers g0;
   let seeded = Trace.with_span "flow:seed" (fun () -> seed_back_edges g0) in
@@ -185,6 +190,11 @@ let iterative ?(config = default_config) input =
      opens (a recursive span would nest every iteration under the
      previous one) *)
   let step it fixed prev =
+    (* cooperative cancellation: a served request is abandoned at
+       iteration boundaries (and again right before the MILP below, the
+       longest single stage), never mid-solve *)
+    Session.check_cancel session;
+    Session.status session (Printf.sprintf "iteration %d" it);
     (* the working circuit for this iteration: base + fixed buffers *)
     let g = apply_buffers g0 fixed in
     (* When the previous iteration kept every proposed buffer, this
@@ -196,7 +206,7 @@ let iterative ?(config = default_config) input =
       | Some (prev_buffered, prev_net, prev_lg, _) when sorted_buffered g = prev_buffered ->
         Trace.add "flow.synthmap.reused" 1;
         (prev_net, prev_lg)
-      | _ -> synth_map config g
+      | _ -> synth_map ~session config g
     in
     run_gate config audit ~stage:"netlist" (fun () -> Lint.Engine.check_netlist g net);
     (* every iteration's netlist/AIG/cover triple is validated, whether
@@ -240,9 +250,12 @@ let iterative ?(config = default_config) input =
        incumbent (once the flow converges the seed is already optimal
        and branch & bound terminates on the certified bound) *)
     let milp_warm = match prev with Some (_, _, _, w) -> Some w | None -> None in
+    Session.check_cancel session;
+    Session.status session "milp";
     match
       Trace.with_span "flow:milp" (fun () ->
-          Buffering.Formulation.solve ?warm:milp_warm config.milp g model cfdfcs)
+          Buffering.Formulation.solve ~cache:session.Session.cache ?warm:milp_warm milp_cfg g
+            model cfdfcs)
     with
     | Error msg -> failwith ("Flow.iterative: " ^ msg)
     | Ok placement ->
@@ -255,7 +268,7 @@ let iterative ?(config = default_config) input =
         ~allowed:
           (List.map (fun c -> (c, opaque_spec)) placement.Buffering.Formulation.new_buffers);
       let cert, milp_phi = certify_placement config audit ~cfdfcs ~placement candidate in
-      let cand_net, cand_lg = synth_map config candidate in
+      let cand_net, cand_lg = synth_map ~session config candidate in
       let achieved = cand_lg.Techmap.Lutgraph.max_level in
       let met = achieved <= config.target_levels in
       let last = it >= config.max_iterations in
@@ -297,7 +310,7 @@ let iterative ?(config = default_config) input =
               List.iter (fun (cid, spec) -> G.set_buffer candidate cid (Some spec)) allowed;
               refine_gate config audit ~stage:"tv-slack" ~base:before ~buffered:candidate
                 ~allowed;
-              synth_map config candidate
+              synth_map ~session config candidate
             end
           end
           else (cand_net, cand_lg)
@@ -339,17 +352,30 @@ let iterative ?(config = default_config) input =
   in
   iterate 1 [] None
 
-let baseline ?(config = default_config) input =
+let baseline ?(config = default_config) ?session input =
   Trace.with_span "flow:baseline" @@ fun () ->
+  let session = match session with Some s -> s | None -> Session.ambient () in
   let g = G.copy input in
   G.clear_buffers g;
   let _ = Trace.with_span "flow:seed" (fun () -> seed_back_edges g) in
   let audit = new_audit () in
   run_gate config audit ~stage:"dfg" (fun () -> Lint.Engine.check_graph g);
-  let model = Trace.with_span "flow:model" (fun () -> Timing.Precharacterized.build g) in
+  Session.check_cancel session;
+  Session.status session "model";
+  let model =
+    Trace.with_span "flow:model" (fun () ->
+        Timing.Precharacterized.build ~cache:session.Session.cache g)
+  in
   let cfdfcs = Buffering.Cfdfc.extract g in
-  let milp = { config.milp with Buffering.Formulation.use_penalty = false } in
-  match Trace.with_span "flow:milp" (fun () -> Buffering.Formulation.solve milp g model cfdfcs) with
+  let milp =
+    Session.milp_config session { config.milp with Buffering.Formulation.use_penalty = false }
+  in
+  Session.check_cancel session;
+  Session.status session "milp";
+  match
+    Trace.with_span "flow:milp" (fun () ->
+        Buffering.Formulation.solve ~cache:session.Session.cache milp g model cfdfcs)
+  with
   | Error msg -> failwith ("Flow.baseline: " ^ msg)
   | Ok placement ->
     run_gate config audit ~stage:"milp" (fun () ->
@@ -360,7 +386,7 @@ let baseline ?(config = default_config) input =
     refine_gate config audit ~stage:"tv-buffer" ~base:g ~buffered:final
       ~allowed:(List.map (fun c -> (c, opaque_spec)) placement.Buffering.Formulation.new_buffers);
     let cert, milp_phi = certify_placement config audit ~cfdfcs ~placement final in
-    let final_net, final_lg = synth_map config final in
+    let final_net, final_lg = synth_map ~session config final in
     (* the baseline synthesises once, at the end: its single tv gate
        validates that final netlist/AIG/cover triple *)
     tv_gate config audit ~stage:"tv" final_net final_lg;

@@ -1,0 +1,401 @@
+type flavor = [ `Iterative | `Baseline ]
+
+let flavor_name = function `Iterative -> "iterative" | `Baseline -> "baseline"
+
+type request = {
+  id : string;
+  kernel : string option;
+  source : string option;
+  flavor : flavor;
+  levels : int option;
+  milp_nodes : int option;
+  milp_budget_s : float option;
+}
+
+type command = Compile of request | Cancel of string | Stats | Shutdown
+
+(* ---- requests ---- *)
+
+let request_to_json (r : request) =
+  let opt k f v rest = match v with None -> rest | Some v -> (k, f v) :: rest in
+  Json.Obj
+    (("id", Json.Str r.id)
+     :: opt "kernel" (fun s -> Json.Str s) r.kernel
+          (opt "source" (fun s -> Json.Str s) r.source
+             (("flavor", Json.Str (flavor_name r.flavor))
+              :: opt "levels" (fun i -> Json.Num (float_of_int i)) r.levels
+                   (opt "milp_nodes" (fun i -> Json.Num (float_of_int i)) r.milp_nodes
+                      (opt "milp_budget_s" (fun f -> Json.Num f) r.milp_budget_s [])))))
+
+let request_to_line r = Json.to_string (request_to_json r)
+
+let ( let* ) = Result.bind
+
+let parse_request j =
+  let* id =
+    match Json.str_mem "id" j with
+    | Some id when id <> "" -> Ok id
+    | Some _ -> Error "empty request id"
+    | None -> (
+      match Json.mem "id" j with
+      | Some _ -> Error "request id must be a non-empty string"
+      | None -> Error "missing request id")
+  in
+  let* kernel, source =
+    match (Json.mem "kernel" j, Json.mem "source" j) with
+    | Some _, Some _ -> Error "request has both \"kernel\" and \"source\""
+    | None, None -> Error "request needs a \"kernel\" name or inline \"source\""
+    | Some k, None -> (
+      match Json.str k with
+      | Some k when k <> "" -> Ok (Some k, None)
+      | _ -> Error "\"kernel\" must be a non-empty string")
+    | None, Some s -> (
+      match Json.str s with
+      | Some s when s <> "" -> Ok (None, Some s)
+      | _ -> Error "\"source\" must be a non-empty string")
+  in
+  let* flavor =
+    match Json.mem "flavor" j with
+    | None -> Ok `Iterative
+    | Some (Json.Str "iterative") -> Ok `Iterative
+    | Some (Json.Str "baseline") -> Ok `Baseline
+    | Some _ -> Error "\"flavor\" must be \"iterative\" or \"baseline\""
+  in
+  let pos_int k =
+    match Json.mem k j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.int v with
+      | Some i when i >= 1 -> Ok (Some i)
+      | _ -> Error (Printf.sprintf "%S must be an integer >= 1" k))
+  in
+  let* levels = pos_int "levels" in
+  let* milp_nodes = pos_int "milp_nodes" in
+  let* milp_budget_s =
+    match Json.mem "milp_budget_s" j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.num v with
+      | Some f when f > 0. -> Ok (Some f)
+      | _ -> Error "\"milp_budget_s\" must be a number > 0")
+  in
+  Ok (Compile { id; kernel; source; flavor; levels; milp_nodes; milp_budget_s })
+
+let command_of_line line =
+  let* j =
+    match Json.of_string line with
+    | Ok (Json.Obj _ as j) -> Ok j
+    | Ok _ -> Error "request must be a JSON object"
+    | Error msg -> Error ("bad JSON: " ^ msg)
+  in
+  if Json.bool_mem "shutdown" j = Some true then Ok Shutdown
+  else if Json.bool_mem "stats" j = Some true then Ok Stats
+  else if Json.bool_mem "cancel" j = Some true then
+    match Json.str_mem "id" j with
+    | Some id when id <> "" -> Ok (Cancel id)
+    | _ -> Error "cancel needs the \"id\" of the in-flight request"
+  else parse_request j
+
+(* ---- responses ---- *)
+
+type measured = {
+  m_cp : float;
+  m_cycles : int;
+  m_exec_ns : float;
+  m_luts : int;
+  m_ffs : int;
+  m_value_ok : bool;
+}
+
+type completion = {
+  r_digest : string;
+  r_flavor : flavor;
+  r_levels : int;
+  r_met_target : bool;
+  r_buffers : int;
+  r_iterations : int;
+  r_phi : float;
+  r_certified : float;
+  r_measured : measured option;
+}
+
+type stats = {
+  s_served : int;
+  s_errors : int;
+  s_rejected : int;
+  s_cancelled : int;
+  s_inflight : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_uptime_s : float;
+}
+
+type event =
+  | Accepted of { id : string; inflight : int }
+  | Rejected of { id : string; code : string; message : string }
+  | Status of { id : string; stage : string }
+  | Done of { id : string; wall_ms : float; result : completion }
+  | Failed of { id : string option; code : string; message : string }
+  | Cancelled of { id : string }
+  | Stats_reply of stats
+  | Bye
+
+let hit_rate hits misses =
+  if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses)
+
+let event_to_json = function
+  | Accepted { id; inflight } ->
+    Json.Obj
+      [
+        ("id", Json.Str id);
+        ("event", Json.Str "accepted");
+        ("inflight", Json.Num (float_of_int inflight));
+      ]
+  | Rejected { id; code; message } ->
+    Json.Obj
+      [
+        ("id", Json.Str id);
+        ("event", Json.Str "rejected");
+        ("code", Json.Str code);
+        ("message", Json.Str message);
+      ]
+  | Status { id; stage } ->
+    Json.Obj [ ("id", Json.Str id); ("event", Json.Str "status"); ("stage", Json.Str stage) ]
+  | Done { id; wall_ms; result = r } ->
+    let base =
+      [
+        ("id", Json.Str id);
+        ("event", Json.Str "done");
+        ("flavor", Json.Str (flavor_name r.r_flavor));
+        ("digest", Json.Str r.r_digest);
+        ("levels", Json.Num (float_of_int r.r_levels));
+        ("met_target", Json.Bool r.r_met_target);
+        ("buffers", Json.Num (float_of_int r.r_buffers));
+        ("iterations", Json.Num (float_of_int r.r_iterations));
+        ("phi", Json.Num r.r_phi);
+        ("certified_bound", Json.Num r.r_certified);
+        ("wall_ms", Json.Num wall_ms);
+      ]
+    in
+    let measured =
+      match r.r_measured with
+      | None -> []
+      | Some m ->
+        [
+          ( "measured",
+            Json.Obj
+              [
+                ("cp_ns", Json.Num m.m_cp);
+                ("cycles", Json.Num (float_of_int m.m_cycles));
+                ("exec_ns", Json.Num m.m_exec_ns);
+                ("luts", Json.Num (float_of_int m.m_luts));
+                ("ffs", Json.Num (float_of_int m.m_ffs));
+                ("value_ok", Json.Bool m.m_value_ok);
+              ] );
+        ]
+    in
+    Json.Obj (base @ measured)
+  | Failed { id; code; message } ->
+    Json.Obj
+      [
+        ("id", match id with Some id -> Json.Str id | None -> Json.Null);
+        ("event", Json.Str "error");
+        ("code", Json.Str code);
+        ("message", Json.Str message);
+      ]
+  | Cancelled { id } -> Json.Obj [ ("id", Json.Str id); ("event", Json.Str "cancelled") ]
+  | Stats_reply s ->
+    Json.Obj
+      [
+        ("event", Json.Str "stats");
+        ("served", Json.Num (float_of_int s.s_served));
+        ("errors", Json.Num (float_of_int s.s_errors));
+        ("rejected", Json.Num (float_of_int s.s_rejected));
+        ("cancelled", Json.Num (float_of_int s.s_cancelled));
+        ("inflight", Json.Num (float_of_int s.s_inflight));
+        ("cache_hits", Json.Num (float_of_int s.s_cache_hits));
+        ("cache_misses", Json.Num (float_of_int s.s_cache_misses));
+        ("hit_rate", Json.Num (hit_rate s.s_cache_hits s.s_cache_misses));
+        ("uptime_s", Json.Num s.s_uptime_s);
+      ]
+  | Bye -> Json.Obj [ ("event", Json.Str "bye") ]
+
+let event_to_line e = Json.to_string (event_to_json e)
+
+(* The client-side decoder. Unknown event names are surfaced as errors so
+   a protocol skew between loadgen and daemon is loud, not silent. *)
+let event_of_line line =
+  let* j =
+    match Json.of_string line with
+    | Ok (Json.Obj _ as j) -> Ok j
+    | Ok _ -> Error "event must be a JSON object"
+    | Error msg -> Error ("bad JSON: " ^ msg)
+  in
+  let id () =
+    match Json.str_mem "id" j with Some id -> Ok id | None -> Error "event without id"
+  in
+  match Json.str_mem "event" j with
+  | Some "accepted" ->
+    let* id = id () in
+    Ok (Accepted { id; inflight = Option.value (Json.int_mem "inflight" j) ~default:0 })
+  | Some "rejected" ->
+    let* id = id () in
+    Ok
+      (Rejected
+         {
+           id;
+           code = Option.value (Json.str_mem "code" j) ~default:"";
+           message = Option.value (Json.str_mem "message" j) ~default:"";
+         })
+  | Some "status" ->
+    let* id = id () in
+    Ok (Status { id; stage = Option.value (Json.str_mem "stage" j) ~default:"" })
+  | Some "done" ->
+    let* id = id () in
+    let* flavor =
+      match Json.str_mem "flavor" j with
+      | Some "baseline" -> Ok `Baseline
+      | Some "iterative" | None -> Ok `Iterative
+      | Some f -> Error ("unknown flavor " ^ f)
+    in
+    let int k = Option.value (Json.int_mem k j) ~default:0 in
+    let num k = Option.value (Json.num_mem k j) ~default:0. in
+    let measured =
+      match Json.mem "measured" j with
+      | None -> None
+      | Some m ->
+        let mint k = Option.value (Json.int_mem k m) ~default:0 in
+        let mnum k = Option.value (Json.num_mem k m) ~default:0. in
+        Some
+          {
+            m_cp = mnum "cp_ns";
+            m_cycles = mint "cycles";
+            m_exec_ns = mnum "exec_ns";
+            m_luts = mint "luts";
+            m_ffs = mint "ffs";
+            m_value_ok = Option.value (Json.bool_mem "value_ok" m) ~default:false;
+          }
+    in
+    Ok
+      (Done
+         {
+           id;
+           wall_ms = num "wall_ms";
+           result =
+             {
+               r_digest = Option.value (Json.str_mem "digest" j) ~default:"";
+               r_flavor = flavor;
+               r_levels = int "levels";
+               r_met_target = Option.value (Json.bool_mem "met_target" j) ~default:false;
+               r_buffers = int "buffers";
+               r_iterations = int "iterations";
+               r_phi = num "phi";
+               r_certified = num "certified_bound";
+               r_measured = measured;
+             };
+         })
+  | Some "error" ->
+    Ok
+      (Failed
+         {
+           id = Json.str_mem "id" j;
+           code = Option.value (Json.str_mem "code" j) ~default:"";
+           message = Option.value (Json.str_mem "message" j) ~default:"";
+         })
+  | Some "cancelled" ->
+    let* id = id () in
+    Ok (Cancelled { id })
+  | Some "stats" ->
+    let int k = Option.value (Json.int_mem k j) ~default:0 in
+    Ok
+      (Stats_reply
+         {
+           s_served = int "served";
+           s_errors = int "errors";
+           s_rejected = int "rejected";
+           s_cancelled = int "cancelled";
+           s_inflight = int "inflight";
+           s_cache_hits = int "cache_hits";
+           s_cache_misses = int "cache_misses";
+           s_uptime_s = Option.value (Json.num_mem "uptime_s" j) ~default:0.;
+         })
+  | Some "bye" -> Ok Bye
+  | Some e -> Error ("unknown event " ^ e)
+  | None -> Error "missing event field"
+
+(* ---- outcome digest ---- *)
+
+(* A canonical, byte-comparable digest of everything a flow run decides:
+   the buffered circuit itself (canonical DFG hash) plus every
+   per-iteration number the flow reported. The same request must digest
+   identically whether it was served by the daemon at any -j width or
+   run serially through the one-shot CLI (`regulate flow --digest`), and
+   whether the cache was cold or warm. *)
+let outcome_digest (o : Core.Flow.outcome) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "dfg=%s\nlevels=%d met=%b buffers=%d cert=%.9f live=%b\n"
+    (Cache.Hash.dfg o.Core.Flow.graph) o.Core.Flow.final_levels o.Core.Flow.met_target
+    o.Core.Flow.total_buffers o.Core.Flow.certified.Analysis.Certify.throughput
+    o.Core.Flow.certified.Analysis.Certify.live;
+  List.iter
+    (fun (it : Core.Flow.iteration) ->
+      Printf.bprintf b "it%d: phi=%.9f obj=%.9f bound=%.9f levels=%d proposed=%d kept=%d\n"
+        it.Core.Flow.it_index it.Core.Flow.milp_phi it.Core.Flow.milp_objective
+        it.Core.Flow.certified_bound it.Core.Flow.achieved_levels
+        it.Core.Flow.proposed_buffers it.Core.Flow.kept_as_fixed)
+    o.Core.Flow.iterations;
+  Cache.Hash.combine [ Buffer.contents b ]
+
+let completion_of_outcome ~flavor ?measured (o : Core.Flow.outcome) =
+  let phi =
+    match List.rev o.Core.Flow.iterations with
+    | last :: _ -> last.Core.Flow.milp_phi
+    | [] -> 1.
+  in
+  {
+    r_digest = outcome_digest o;
+    r_flavor = flavor;
+    r_levels = o.Core.Flow.final_levels;
+    r_met_target = o.Core.Flow.met_target;
+    r_buffers = o.Core.Flow.total_buffers;
+    r_iterations = List.length o.Core.Flow.iterations;
+    r_phi = phi;
+    r_certified = o.Core.Flow.certified.Analysis.Certify.throughput;
+    r_measured = measured;
+  }
+
+let measured_of_metrics (m : Core.Experiment.metrics) =
+  {
+    m_cp = m.Core.Experiment.cp;
+    m_cycles = m.Core.Experiment.cycles;
+    m_exec_ns = m.Core.Experiment.exec_ns;
+    m_luts = m.Core.Experiment.luts;
+    m_ffs = m.Core.Experiment.ffs;
+    m_value_ok = m.Core.Experiment.value_ok;
+  }
+
+(* ---- structured errors ---- *)
+
+(* Map a flow exception to a protocol error code. The MILP layer reports
+   budget exhaustion and infeasibility through `Failure` messages (the
+   fuzz oracle classifies the same strings), lint gates raise their
+   report, and anything else is an internal error — all of them must
+   come back as error events, never kill the daemon. *)
+let error_of_exn exn =
+  let has msg sub =
+    let n = String.length sub and m = String.length msg in
+    let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+    go 0
+  in
+  match exn with
+  | Lint.Engine.Lint_error report ->
+    ("lint-failed", Format.asprintf "%a" Lint.Engine.pp_report report)
+  | Failure msg when has msg "budget exhausted" -> ("milp-exhausted", msg)
+  | Failure msg when has msg "infeasible" -> ("milp-infeasible", msg)
+  | Failure msg when has msg "unbounded" -> ("milp-unbounded", msg)
+  | Failure msg -> ("flow-failed", msg)
+  | Not_found -> ("unknown-kernel", "no benchmark kernel by that name (see `regulate list`)")
+  | exn -> (
+    match Hls.Parser.error_message exn with
+    | Some msg -> ("compile-failed", msg)
+    | None -> ("internal-error", Printexc.to_string exn))

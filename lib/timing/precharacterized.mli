@@ -10,8 +10,10 @@
     simplification, which is precisely the conservatism the paper
     attacks. All penalties are zero (Eq. 1 objective). *)
 
-val unit_delay : Dataflow.Graph.t -> Dataflow.Graph.unit_id -> float
+val unit_delay :
+  ?cache:Cache.Session.t -> Dataflow.Graph.t -> Dataflow.Graph.unit_id -> float
 (** Characterised delay of one unit (cached by kind and width
-    signature). *)
+    signature, first in a process-wide table, then in the session's
+    artifact cache — default {!Cache.Control.session}). *)
 
-val build : Dataflow.Graph.t -> Model.t
+val build : ?cache:Cache.Session.t -> Dataflow.Graph.t -> Model.t

@@ -24,4 +24,5 @@ let () =
       ("gatelevel", Test_gatelevel.suite);
       ("cache", Test_cache.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
     ]
