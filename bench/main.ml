@@ -44,6 +44,7 @@ let jobs = ref (Support.Pool.default_jobs ())
 let kernel_subset : string list option ref = ref None
 let trace_file : string option ref = ref None
 let cache_dir : string option ref = ref None
+let narrow = ref true
 
 (* rows are computed once and shared between table1 and figure5 *)
 let rows_cache : Core.Experiment.row list option ref = ref None
@@ -56,7 +57,8 @@ let rows () =
     Printf.eprintf "[bench] running %d kernels x 2 flavors, jobs=%d\n%!"
       (match names with Some ns -> List.length ns | None -> List.length Hls.Kernels.all)
       !jobs;
-    let r, timings, wall = Core.Experiment.run_all_timed ~jobs:!jobs ?names () in
+    let config = { Core.Flow.default_config with Core.Flow.narrow = !narrow } in
+    let r, timings, wall = Core.Experiment.run_all_timed ~config ~jobs:!jobs ?names () in
     List.iter
       (fun t ->
         Printf.eprintf "[bench]   %-15s %-9s %8.2fs\n%!" t.Core.Experiment.t_bench
@@ -393,7 +395,7 @@ let micro () =
 let usage () =
   prerr_endline
     "usage: main.exe [-j N|--jobs N] [--kernels a,b,c] [--trace FILE] [--cache-dir DIR] \
-     [table1|figure5|ablation-*|sweep|micro]*";
+     [--no-narrow] [table1|figure5|ablation-*|sweep|micro]*";
   exit 1
 
 (* A repeated kernel would be run and reported twice for no new
@@ -460,6 +462,12 @@ let rec parse_args targets = function
   | "--cache-dir" :: [] -> usage ()
   | arg :: rest when String.length arg > 12 && String.sub arg 0 12 = "--cache-dir=" ->
     cache_dir := Some (String.sub arg 12 (String.length arg - 12));
+    parse_args targets rest
+  | "--no-narrow" :: rest ->
+    (* rerun the tables without the value-range narrowing stage — the
+       on/off delta quoted in EXPERIMENTS.md E1 comes from diffing the
+       two results.csv files *)
+    narrow := false;
     parse_args targets rest
   | target :: rest -> parse_args (target :: targets) rest
 

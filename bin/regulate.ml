@@ -86,6 +86,14 @@ let milp_budget_arg =
   in
   Arg.(value & opt (some budget_conv) None & info [ "milp-budget-s" ] ~docv:"SECONDS" ~doc)
 
+let no_narrow_arg =
+  let doc =
+    "Disable the abstract-interpretation narrowing stage (on by default: the flow shrinks unit \
+     widths to their proven value envelopes, folds constant units and deletes dead branches \
+     before synthesis, gated by random-simulation equivalence). See `regulate absint`."
+  in
+  Arg.(value & flag & info [ "no-narrow" ] ~doc)
+
 (* Enable the artifact cache around [f] when a directory was configured
    (flag first, then $REPRO_CACHE); the session's counters are appended
    to the store's stats.log whichever way [f] exits. *)
@@ -201,8 +209,8 @@ let flow_cmd =
              plus every per-iteration decision), byte-comparable against the $(b,done) events of \
              `regulate serve`.")
   in
-  let run name flavor levels routing slack balance tv_exact digest milp_nodes milp_budget_s
-      trace cache_dir =
+  let run name flavor levels routing slack balance tv_exact no_narrow digest milp_nodes
+      milp_budget_s trace cache_dir =
     let k = Hls.Kernels.by_name name in
     let config =
       {
@@ -212,6 +220,7 @@ let flow_cmd =
         slack_match = slack;
         balance;
         tv_exact;
+        narrow = not no_narrow;
         milp =
           {
             Core.Flow.default_config.Core.Flow.milp with
@@ -236,6 +245,15 @@ let flow_cmd =
            else "")
       )
       outcome.Core.Flow.iterations;
+    (match outcome.Core.Flow.narrowing with
+    | Some r when Absint.Narrow.changed r ->
+      Printf.printf "narrowing: %d widths shrunk, %d folded, %d rewired, %d deleted (%d -> %d channel bits)\n"
+        (List.length r.Absint.Narrow.r_narrowed)
+        (List.length r.Absint.Narrow.r_folded)
+        (List.length r.Absint.Narrow.r_rewired)
+        (List.length r.Absint.Narrow.r_deleted)
+        r.Absint.Narrow.r_bits_before r.Absint.Narrow.r_bits_after
+    | _ -> ());
     (match List.rev outcome.Core.Flow.iterations with
     | last :: _ ->
       Format.printf "throughput: milp phi=%.4f vs %a@." last.Core.Flow.milp_phi
@@ -254,7 +272,8 @@ let flow_cmd =
     (Term.term_result
        Term.(
          const run $ kernels_arg $ flavor $ levels $ routing $ slack $ balance $ tv_exact
-         $ digest $ milp_nodes_arg $ milp_budget_arg $ trace_arg $ cache_dir_arg))
+         $ no_narrow_arg $ digest $ milp_nodes_arg $ milp_budget_arg $ trace_arg
+         $ cache_dir_arg))
 
 (* ---- export ---- *)
 
@@ -467,6 +486,9 @@ let lint_kernel ~levels ~cycle_cap k =
   let g = Dataflow.Graph.copy raw in
   ignore (Core.Flow.seed_back_edges g);
   let post = Lint.Engine.check_graph g in
+  (* value-range family: needs the abstract-interpretation result; the
+     inferred interval rides along in each diagnostic's extra field *)
+  let r_ranges = Lint.Engine.check_ranges ~result:(Absint.Analyze.run g) g in
   let net = Elaborate.run g in
   let r_net = Lint.Engine.check_netlist g net in
   let synth = Techmap.Synth.run net in
@@ -502,7 +524,8 @@ let lint_kernel ~levels ~cycle_cap k =
       in
       (r_milp, Lint.Engine.check_perf ~truncated ~phi cert candidate)
   in
-  List.fold_left Lint.Engine.merge Lint.Engine.empty [ pre; post; r_net; r_map; r_milp; r_perf ]
+  List.fold_left Lint.Engine.merge Lint.Engine.empty
+    [ pre; post; r_ranges; r_net; r_map; r_milp; r_perf ]
 
 let lint_cmd =
   let names =
@@ -583,6 +606,111 @@ let dedupe_kernel_names ~cli names =
         true
       end)
     names
+
+(* ---- absint ---- *)
+
+(* The value-range analysis as a first-class surface: run the abstract
+   interpreter over a kernel's seeded graph, print every unit's proven
+   output envelope, what the verified narrowing pass does with it, and
+   the range-* lint findings. Pure graph analysis — no synthesis, MILP
+   or simulation — so it is fast enough to run over the whole suite in
+   CI. *)
+let absint_kernel k =
+  let g = Dataflow.Graph.copy (Hls.Kernels.graph k) in
+  ignore (Core.Flow.seed_back_edges g);
+  let res = Absint.Analyze.run g in
+  let _, report = Absint.Narrow.run res g in
+  let lint = Lint.Engine.check_ranges ~result:res g in
+  (g, res, report, lint)
+
+let absint_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc:"Kernels (default: all nine).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.") in
+  let run names json =
+    let ks =
+      match dedupe_kernel_names ~cli:"regulate" names with
+      | [] -> Hls.Kernels.all
+      | names -> List.map Hls.Kernels.by_name names
+    in
+    if json then print_string "[";
+    let failed =
+      List.fold_left
+        (fun (failed, i) k ->
+          let name = k.Hls.Kernels.name in
+          let g, res, report, lint = absint_kernel k in
+          let unit_ranges =
+            List.init (Dataflow.Graph.n_units g) (fun uid ->
+                let n = Dataflow.Graph.unit_node g uid in
+                let outs =
+                  Array.to_list n.Dataflow.Graph.outs
+                  |> List.filter_map (fun c -> c)
+                  |> List.map (fun cid ->
+                         Absint.Value.to_string ~width:n.Dataflow.Graph.width
+                           (Absint.Analyze.value res cid))
+                in
+                (n, outs))
+          in
+          if json then begin
+            if i > 0 then print_string ",";
+            let b = Buffer.create 4096 in
+            Printf.bprintf b "{\"label\":\"%s\",\"diverged\":%b,\"evals\":%d,\"units\":["
+              (Lint.Diagnostic.json_escape name)
+              res.Absint.Analyze.diverged res.Absint.Analyze.evals;
+            List.iteri
+              (fun j (n, outs) ->
+                if j > 0 then Buffer.add_char b ',';
+                Printf.bprintf b "{\"uid\":%d,\"kind\":\"%s\",\"label\":\"%s\",\"width\":%d,\"outs\":[%s]}"
+                  n.Dataflow.Graph.uid
+                  (Lint.Diagnostic.json_escape (Dataflow.Unit_kind.name n.Dataflow.Graph.kind))
+                  (Lint.Diagnostic.json_escape n.Dataflow.Graph.label)
+                  n.Dataflow.Graph.width
+                  (String.concat ","
+                     (List.map (fun s -> "\"" ^ Lint.Diagnostic.json_escape s ^ "\"") outs)))
+              unit_ranges;
+            Printf.bprintf b
+              "],\"narrowing\":{\"narrowed\":%d,\"folded\":%d,\"rewired\":%d,\"deleted\":%d,\"bits_before\":%d,\"bits_after\":%d,\"units_before\":%d,\"units_after\":%d},\"report\":%s}"
+              (List.length report.Absint.Narrow.r_narrowed)
+              (List.length report.Absint.Narrow.r_folded)
+              (List.length report.Absint.Narrow.r_rewired)
+              (List.length report.Absint.Narrow.r_deleted)
+              report.Absint.Narrow.r_bits_before report.Absint.Narrow.r_bits_after
+              report.Absint.Narrow.r_units_before report.Absint.Narrow.r_units_after
+              (Lint.Engine.report_to_json lint);
+            print_string (Buffer.contents b)
+          end
+          else begin
+            Printf.printf "%s: %d units, %d evals%s\n" name (Dataflow.Graph.n_units g)
+              res.Absint.Analyze.evals
+              (if res.Absint.Analyze.diverged then " (DIVERGED: all values top)" else "");
+            List.iter
+              (fun (n, outs) ->
+                if outs <> [] then
+                  Printf.printf "  %3d %-12s %-24s w=%-2d %s\n" n.Dataflow.Graph.uid
+                    (Dataflow.Unit_kind.name n.Dataflow.Graph.kind)
+                    n.Dataflow.Graph.label n.Dataflow.Graph.width (String.concat " " outs))
+              unit_ranges;
+            Format.printf "%a@." Absint.Narrow.pp_report report;
+            Format.printf "%a@." Lint.Engine.pp_report lint
+          end;
+          Format.print_flush ();
+          flush stdout;
+          (failed || not (Lint.Engine.ok lint), i + 1))
+        (false, 0) ks
+      |> fst
+    in
+    if json then print_endline "]";
+    if failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "absint"
+       ~doc:
+         "Run the abstract-interpretation value analysis over kernels: per-unit value envelopes \
+          (intervals plus known bits), the verified narrowing report (width shrinks, constant \
+          folds, dead-code deletions), and the range-* lint findings. Exits non-zero on any \
+          range-* error.")
+    Term.(const run $ names $ json)
 
 (* ---- verify ---- *)
 
@@ -865,7 +993,7 @@ let compare_cmd =
   let names =
     Arg.(value & pos_all string [] & info [] ~docv:"KERNEL" ~doc:"Kernels (default: all nine).")
   in
-  let run names milp_nodes milp_budget_s jobs trace cache_dir =
+  let run names no_narrow milp_nodes milp_budget_s jobs trace cache_dir =
     let names =
       match dedupe_kernel_names ~cli:"regulate" names with [] -> None | names -> Some names
     in
@@ -882,7 +1010,7 @@ let compare_cmd =
             ~default:base.Core.Flow.milp.Buffering.Formulation.time_limit;
       }
     in
-    let config = { base with Core.Flow.milp } in
+    let config = { base with Core.Flow.milp; narrow = not no_narrow } in
     with_cache cache_dir @@ fun () ->
     traced ~name:"regulate:compare" trace @@ fun () ->
     let rows = Core.Experiment.run_all_parallel ~config ~jobs ?names () in
@@ -896,8 +1024,8 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Reproduce Table I / Figure 5 for the given kernels.")
     (Term.term_result
        Term.(
-         const run $ names $ milp_nodes_arg $ milp_budget_arg $ jobs_arg $ trace_arg
-         $ cache_dir_arg))
+         const run $ names $ no_narrow_arg $ milp_nodes_arg $ milp_budget_arg $ jobs_arg
+         $ trace_arg $ cache_dir_arg))
 
 (* ---- cache ---- *)
 
@@ -997,7 +1125,7 @@ let serve_cmd =
       & info [ "levels" ] ~docv:"N"
           ~doc:"Server-wide target logic levels (requests may override per request).")
   in
-  let run socket jobs queue_limit levels milp_nodes milp_budget_s cache_dir =
+  let run socket jobs queue_limit levels no_narrow milp_nodes milp_budget_s cache_dir =
     (* the daemon owns its cache session outright: no process-global
        Cache.Control state is involved, which is what lets one process
        serve concurrent requests against one shared store *)
@@ -1013,13 +1141,13 @@ let serve_cmd =
     | Ok cache ->
       let cfg =
         {
-          Serve.Server.default_config with
           Serve.Server.jobs;
           queue_limit;
           levels;
           milp_nodes;
           milp_budget_s;
           cache;
+          flow = { Core.Flow.default_config with Core.Flow.narrow = not no_narrow };
         }
       in
       let t = Serve.Server.create cfg in
@@ -1042,8 +1170,8 @@ let serve_cmd =
           never crashes.")
     (Term.term_result
        Term.(
-         const run $ socket $ jobs_arg $ queue_limit $ levels $ milp_nodes_arg $ milp_budget_arg
-         $ cache_dir_arg))
+         const run $ socket $ jobs_arg $ queue_limit $ levels $ no_narrow_arg $ milp_nodes_arg
+         $ milp_budget_arg $ cache_dir_arg))
 
 (* ---- loadgen ---- *)
 
@@ -1247,6 +1375,7 @@ let () =
             list_cmd;
             show_cmd;
             flow_cmd;
+            absint_cmd;
             lint_cmd;
             verify_cmd;
             tv_cmd;

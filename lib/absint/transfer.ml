@@ -1,0 +1,242 @@
+(* Abstract transfer functions for [Dataflow.Ops] operators.
+
+   Concrete semantics being abstracted (see [Sim.Elastic] / [Ops.eval]): the
+   operator computes over native ints on its input channels' values and the
+   result is masked to the unit width when written to the output channel.
+   OCaml's shifts and [land] act modulo the native word, so the low [w] bits
+   of any intermediate are preserved by the final mask even when the
+   mathematical result overflows — which is why known-bits facts on low bits
+   survive wrapping while interval facts do not.  Operand channels may be
+   wider than the unit, so every interval fact must be validated against the
+   output mask before use. *)
+
+module Ops = Dataflow.Ops
+module V = Value
+
+let is_bot = V.is_bot
+
+type quad = { lo : int; hi : int; zeros : int; ones : int }
+
+let quad_of = function
+  | V.V { lo; hi; zeros; ones } -> Some { lo; hi; zeros; ones }
+  | _ -> None
+
+(* Finish a result whose mathematical interval is [lo, hi] with
+   independently-derived bit facts on the low bits.  When the interval fits
+   under the mask it is exact; otherwise only the (masked) bit facts
+   survive.  [hi < 0] encodes "interval unknown". *)
+let finish w m ~lo ~hi ~zeros ~ones =
+  if hi >= 0 && hi <= m then V.reduce w ~lo ~hi ~zeros ~ones
+  else V.reduce w ~lo:0 ~hi:m ~zeros:(zeros land m) ~ones:(ones land m)
+
+(* Bitwise carry propagation for [a + b + carry0] restricted to the low bits
+   where both operands and the running carry are known.  Returns the
+   (zeros, ones) facts of that prefix.  Used for Add (carry0 = 0) and, via
+   complement, Sub (a - b = a + lnot b + 1). *)
+let add_kb m ~carry0 a b =
+  let zeros = ref 0 and ones = ref 0 in
+  let carry = ref carry0 in
+  let i = ref 0 in
+  (try
+     while !i < 61 && 1 lsl !i <= m do
+       let bit = 1 lsl !i in
+       let known v = v.zeros land bit <> 0 || v.ones land bit <> 0 in
+       if not (known a && known b) then raise Exit;
+       let av = if a.ones land bit <> 0 then 1 else 0 in
+       let bv = if b.ones land bit <> 0 then 1 else 0 in
+       let s = av + bv + !carry in
+       if s land 1 = 1 then ones := !ones lor bit else zeros := !zeros lor bit;
+       carry := s lsr 1;
+       incr i
+     done
+   with Exit -> ());
+  (!zeros, !ones)
+
+let complement m q = { q with zeros = q.ones land m; ones = q.zeros land m }
+
+let trailing_zeros m q =
+  let rec go n = if n < 61 && 1 lsl n <= m && q.zeros land (1 lsl n) <> 0 then go (n + 1) else n in
+  go 0
+
+(* Clamp the shift-amount operand to the 6-bit range actually used by
+   [Ops.eval] ([b land 63]). *)
+let shift_range b = if b.hi <= 63 then (b.lo, b.hi) else (0, 63)
+
+let add w m a b =
+  let s_lo = a.lo + b.lo and s_hi = a.hi + b.hi in
+  let zeros, ones = add_kb m ~carry0:0 a b in
+  if s_hi <= m then V.reduce w ~lo:s_lo ~hi:s_hi ~zeros ~ones
+  else if s_lo > m && s_hi <= (2 * m) + 1 then
+    (* every sum wraps exactly once *)
+    V.reduce w ~lo:(s_lo - m - 1) ~hi:(s_hi - m - 1) ~zeros ~ones
+  else finish w m ~lo:0 ~hi:(-1) ~zeros ~ones
+
+let sub w m a b =
+  let zeros, ones = add_kb m ~carry0:1 a (complement m b) in
+  if a.lo >= b.hi then finish w m ~lo:(a.lo - b.hi) ~hi:(a.hi - b.lo) ~zeros ~ones
+  else if a.hi < b.lo && a.lo - b.hi + m + 1 >= 0 then
+    (* every difference is negative and wraps exactly once *)
+    V.reduce w ~lo:(a.lo - b.hi + m + 1) ~hi:(a.hi - b.lo + m + 1) ~zeros ~ones
+  else finish w m ~lo:0 ~hi:(-1) ~zeros ~ones
+
+let mul w m a b =
+  let tz = min 61 (trailing_zeros m a + trailing_zeros m b) in
+  let zeros = (1 lsl tz) - 1 in
+  let overflows = a.hi > 0 && b.hi > 0 && a.hi > max_int / b.hi in
+  if overflows then finish w m ~lo:0 ~hi:(-1) ~zeros ~ones:0
+  else finish w m ~lo:(a.lo * b.lo) ~hi:(a.hi * b.hi) ~zeros ~ones:0
+
+let shl w m a b =
+  let sl, sh = shift_range b in
+  (* the low min(sl, w) bits are zero regardless of wrapping *)
+  let low_zeros = (1 lsl min sl (min w 61)) - 1 in
+  if sl = sh then begin
+    let s = sl in
+    let kb_zeros = ((a.zeros lsl s) lor ((1 lsl min s 61) - 1)) land m in
+    let kb_ones = (a.ones lsl s) land m in
+    if s >= 61 || V.bits a.hi + s > 61 then
+      finish w m ~lo:0 ~hi:(-1) ~zeros:kb_zeros ~ones:kb_ones
+    else finish w m ~lo:(a.lo lsl s) ~hi:(a.hi lsl s) ~zeros:kb_zeros ~ones:kb_ones
+  end
+  else if sh < 61 && V.bits a.hi + sh <= 61 then
+    finish w m ~lo:(a.lo lsl sl) ~hi:(a.hi lsl sh) ~zeros:low_zeros ~ones:0
+  else finish w m ~lo:0 ~hi:(-1) ~zeros:low_zeros ~ones:0
+
+let lshr w m a b =
+  let sl, sh = shift_range b in
+  let lo = a.lo lsr sh and hi = a.hi lsr sl in
+  if sl = sh then finish w m ~lo ~hi ~zeros:(a.zeros lsr sl) ~ones:(a.ones lsr sl)
+  else finish w m ~lo ~hi ~zeros:0 ~ones:0
+
+let and_ w m a b =
+  finish w m ~lo:0 ~hi:(min a.hi b.hi) ~zeros:(a.zeros lor b.zeros)
+    ~ones:(a.ones land b.ones)
+
+let or_ w m a b =
+  let hb = max (V.bits a.hi) (V.bits b.hi) in
+  let hi = (1 lsl min hb 61) - 1 in
+  let hi = if hb > 61 then -1 else hi in
+  finish w m ~lo:(min m (max a.lo b.lo)) ~hi ~zeros:(a.zeros land b.zeros)
+    ~ones:(a.ones lor b.ones)
+
+let xor w m a b =
+  let hb = max (V.bits a.hi) (V.bits b.hi) in
+  let hi = if hb > 61 then -1 else (1 lsl hb) - 1 in
+  finish w m ~lo:0 ~hi
+    ~zeros:((a.zeros land b.zeros) lor (a.ones land b.ones))
+    ~ones:((a.zeros land b.ones) lor (a.ones land b.zeros))
+
+(* Decide a comparison from interval and bit facts: Some 1 / Some 0 when
+   provable for every pair of member values. *)
+let decide_cmp c a b =
+  let kb_disjoint = a.ones land b.zeros <> 0 || b.ones land a.zeros <> 0 in
+  match c with
+  | Ops.Eq ->
+      if a.lo = a.hi && b.lo = b.hi && a.lo = b.lo then Some 1
+      else if a.hi < b.lo || b.hi < a.lo || kb_disjoint then Some 0
+      else None
+  | Ops.Ne ->
+      if a.lo = a.hi && b.lo = b.hi && a.lo = b.lo then Some 0
+      else if a.hi < b.lo || b.hi < a.lo || kb_disjoint then Some 1
+      else None
+  | Ops.Lt -> if a.hi < b.lo then Some 1 else if a.lo >= b.hi then Some 0 else None
+  | Ops.Le -> if a.hi <= b.lo then Some 1 else if a.lo > b.hi then Some 0 else None
+  | Ops.Gt -> if a.lo > b.hi then Some 1 else if a.hi <= b.lo then Some 0 else None
+  | Ops.Ge -> if a.lo >= b.hi then Some 1 else if a.hi < b.lo then Some 0 else None
+
+let icmp w c a b =
+  match decide_cmp c a b with
+  | Some v -> V.const w v
+  | None -> V.reduce w ~lo:0 ~hi:1 ~zeros:0 ~ones:0
+
+(* [operator ~width op vals] abstracts [Ops.eval op] followed by the mask to
+   the unit width.  Inputs are the in-channel abstractions (at their own
+   widths, possibly wider than the unit); any [Any] operand makes arithmetic
+   unanalyzable (values may be negative native ints). *)
+let operator ~width op vals =
+  if List.exists is_bot vals then V.Bot
+  else
+    match V.mask_of width with
+    | None -> V.Any
+    | Some m -> (
+        match List.map quad_of vals with
+        | [ Some a; Some b ] -> (
+            match op with
+            | Ops.Add -> add width m a b
+            | Ops.Sub -> sub width m a b
+            | Ops.Mul -> mul width m a b
+            | Ops.Shl -> shl width m a b
+            | Ops.Lshr -> lshr width m a b
+            | Ops.And_ -> and_ width m a b
+            | Ops.Or_ -> or_ width m a b
+            | Ops.Xor_ -> xor width m a b
+            | Ops.Icmp c -> icmp width c a b
+            | Ops.Select -> V.top width)
+        | [ Some c; _; _ ] when op = Ops.Select ->
+            let arm v = V.mask_to width v in
+            let can_zero = c.lo = 0 and can_nonzero = c.hi > 0 in
+            let t = if can_nonzero then arm (List.nth vals 1) else V.Bot in
+            let f = if can_zero then arm (List.nth vals 2) else V.Bot in
+            V.join width t f
+        | _ -> V.top width)
+
+(* Can the mathematical (pre-mask) result exceed the unit width?  Drives the
+   range-overflow-possible lint.  Only meaningful for ops whose wrap loses
+   information (Add/Sub/Mul/Shl). *)
+let may_wrap ~width op vals =
+  if List.exists is_bot vals then false
+  else
+    match V.mask_of width with
+    | None -> false
+    | Some m -> (
+        match (op, List.map quad_of vals) with
+        | Ops.Add, [ Some a; Some b ] -> a.hi + b.hi > m
+        | Ops.Sub, [ Some a; Some b ] -> a.lo < b.hi
+        | Ops.Mul, [ Some a; Some b ] ->
+            (a.hi > 0 && b.hi > 0 && a.hi > max_int / b.hi) || a.hi * b.hi > m
+        | Ops.Shl, [ Some a; Some b ] ->
+            let _, sh = shift_range b in
+            a.hi > 0 && V.bits a.hi + sh > V.bits m
+        | (Ops.Add | Ops.Sub | Ops.Mul | Ops.Shl), _ -> true
+        | _ -> false)
+
+let swap_cmp = function
+  | Ops.Eq -> Ops.Eq
+  | Ops.Ne -> Ops.Ne
+  | Ops.Lt -> Ops.Gt
+  | Ops.Le -> Ops.Ge
+  | Ops.Gt -> Ops.Lt
+  | Ops.Ge -> Ops.Le
+
+let negate_cmp = function
+  | Ops.Eq -> Ops.Ne
+  | Ops.Ne -> Ops.Eq
+  | Ops.Lt -> Ops.Ge
+  | Ops.Le -> Ops.Gt
+  | Ops.Gt -> Ops.Le
+  | Ops.Ge -> Ops.Lt
+
+(* Refine the abstraction [a] of the left operand of [a cmp b] under the
+   assumption that the comparison evaluated to [polarity].  Sound only when
+   the compared channel values equal [a]'s members directly (same width, no
+   intervening masking) — the analyzer checks this before calling. *)
+let refine_cmp ~width cmp ~polarity a b =
+  match (quad_of a, quad_of b) with
+  | Some qa, Some qb ->
+      let cmp = if polarity then cmp else negate_cmp cmp in
+      let constraint_ =
+        match cmp with
+        | Ops.Eq -> V.reduce width ~lo:qb.lo ~hi:qb.hi ~zeros:qb.zeros ~ones:qb.ones
+        | Ops.Ne ->
+            if qb.lo = qb.hi && qa.lo = qb.lo then
+              V.reduce width ~lo:(qa.lo + 1) ~hi:qa.hi ~zeros:0 ~ones:0
+            else if qb.lo = qb.hi && qa.hi = qb.lo then
+              V.reduce width ~lo:qa.lo ~hi:(qa.hi - 1) ~zeros:0 ~ones:0
+            else a
+        | Ops.Lt -> V.reduce width ~lo:0 ~hi:(qb.hi - 1) ~zeros:0 ~ones:0
+        | Ops.Le -> V.reduce width ~lo:0 ~hi:qb.hi ~zeros:0 ~ones:0
+        | Ops.Gt -> V.reduce width ~lo:(qb.lo + 1) ~hi:max_int ~zeros:0 ~ones:0
+        | Ops.Ge -> V.reduce width ~lo:qb.lo ~hi:max_int ~zeros:0 ~ones:0
+      in
+      V.meet width a constraint_
+  | _ -> a

@@ -1,0 +1,23 @@
+(** Abstract transfer functions for {!Dataflow.Ops} operators: each
+    abstracts [Ops.eval] followed by the simulator's mask to the unit
+    width.  Operand channels may be wider than the unit; wrapping results
+    keep only their (masked) known-bits facts. *)
+
+val operator : width:int -> Dataflow.Ops.t -> Value.t list -> Value.t
+(** Inputs are the in-channel abstractions in port order. *)
+
+val may_wrap : width:int -> Dataflow.Ops.t -> Value.t list -> bool
+(** Whether the mathematical (pre-mask) result of Add/Sub/Mul/Shl can fall
+    outside the unit width; always [false] for the other operators. *)
+
+val swap_cmp : Dataflow.Ops.cmp -> Dataflow.Ops.cmp
+(** Mirror a comparison: [a cmp b <=> b (swap_cmp cmp) a]. *)
+
+val negate_cmp : Dataflow.Ops.cmp -> Dataflow.Ops.cmp
+
+val refine_cmp :
+  width:int -> Dataflow.Ops.cmp -> polarity:bool -> Value.t -> Value.t -> Value.t
+(** [refine_cmp ~width cmp ~polarity a b] refines the abstraction [a] of
+    the left operand of [a cmp b] under the assumption the comparison
+    evaluated to [polarity].  Sound only when the compared values are
+    exactly [a]'s members (no intervening masking). *)

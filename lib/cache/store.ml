@@ -6,7 +6,7 @@ let format_version = 1
    changes (Lutgraph fields, mapper cost function, MILP solution tuple,
    unit-delay semantics). The OCaml version rides along because payloads
    are Marshal-encoded and the marshal format is compiler-dependent. *)
-let model_version = "m2-ocaml" ^ Sys.ocaml_version
+let model_version = "m3-ocaml" ^ Sys.ocaml_version
 
 type t = {
   root : string;

@@ -13,6 +13,7 @@ type config = {
   balance : bool;
   lint_gates : bool;
   tv_exact : bool;
+  narrow : bool;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     balance = false;
     lint_gates = true;
     tv_exact = false;
+    narrow = true;
   }
 
 type iteration = {
@@ -54,6 +56,7 @@ type outcome = {
   certified : Analysis.Certify.t;
   lint : Lint.Engine.report;
   lint_stages : string list;
+  narrowing : Absint.Narrow.report option;
 }
 
 let opaque_spec = { G.transparent = false; slots = 2 }
@@ -154,6 +157,35 @@ let refine_gate config audit ~stage ~base ~buffered ~allowed =
   run_gate config audit ~stage (fun () ->
       Trace.with_span "flow:tv" (fun () -> Lint.Engine.check_refinement ~base ~buffered ~allowed))
 
+(* Value-range narrowing (§ the mapping-aware premise: level counts are a
+   function of operator widths).  Abstract-interpretation over the seeded
+   graph proves a per-channel value envelope; [Absint.Narrow] then shrinks
+   widths, folds constants and deletes dead steering, and the rewritten
+   graph replaces the input of every later stage.  The rewrite is
+   translation-validated by random simulation ([equiv-narrow]): a mismatch
+   aborts the flow — even when lint gates are off, because a failed gate
+   means the optimizer changed observable behaviour. *)
+let narrow_stage config audit session g =
+  if not config.narrow then (g, None)
+  else begin
+    Session.status session "absint";
+    Trace.with_span "flow:absint" @@ fun () ->
+    let res = Absint.Analyze.run g in
+    run_gate config audit ~stage:"range" (fun () ->
+        Lint.Engine.check_ranges ~result:res g);
+    let narrowed, report = Absint.Narrow.run res g in
+    if Absint.Narrow.changed report then begin
+      let equiv () =
+        Trace.with_span "flow:tv" (fun () ->
+            Lint.Engine.check_narrowing ~original:g ~variant:narrowed ())
+      in
+      if config.lint_gates then run_gate config audit ~stage:"tv-narrow" equiv
+      else ignore (Lint.Engine.gate ~stage:"tv-narrow" (equiv ()));
+      (narrowed, Some report)
+    end
+    else (g, Some report)
+  end
+
 (* The LP-free performance oracle: right after each MILP solve, the
    candidate placement is certified (min cycle ratio by Howard with a
    Karp cross-check, marked-graph liveness) and the [perf] gate
@@ -183,6 +215,7 @@ let iterative ?(config = default_config) ?session input =
   ignore seeded;
   let audit = new_audit () in
   run_gate config audit ~stage:"dfg" (fun () -> Lint.Engine.check_graph g0);
+  let g0, narrowing = narrow_stage config audit session g0 in
   let iterations = ref [] in
   let sorted_buffered g = List.map fst (G.buffered_channels g) |> List.sort compare in
   (* one refinement iteration; the recursion lives in [iterate] below so
@@ -334,6 +367,7 @@ let iterative ?(config = default_config) ?session input =
             certified = cert;
             lint = audit.a_report;
             lint_stages = List.rev audit.a_stages;
+            narrowing;
           }
       end
       else
@@ -360,6 +394,7 @@ let baseline ?(config = default_config) ?session input =
   let _ = Trace.with_span "flow:seed" (fun () -> seed_back_edges g) in
   let audit = new_audit () in
   run_gate config audit ~stage:"dfg" (fun () -> Lint.Engine.check_graph g);
+  let g, narrowing = narrow_stage config audit session g in
   Session.check_cancel session;
   Session.status session "model";
   let model =
@@ -420,4 +455,5 @@ let baseline ?(config = default_config) ?session input =
       certified = cert;
       lint = audit.a_report;
       lint_stages = List.rev audit.a_stages;
+      narrowing;
     }

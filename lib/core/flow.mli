@@ -42,6 +42,13 @@ type config = {
           offending cone (the [--tv-exact] CLI flag; off by default —
           the cheap 64-lane signature pass always runs when
           [lint_gates] is on) *)
+  narrow : bool;
+      (** run the abstract-interpretation value analysis and the verified
+          narrowing rewrite ({!module:Absint}) on the seeded graph before
+          synthesis (on by default; the [--no-narrow] CLI escape hatch).
+          The rewrite is always gated by random-simulation equivalence
+          ([equiv-narrow]) — a mismatch aborts the flow even when
+          [lint_gates] is off *)
 }
 
 val default_config : config
@@ -87,6 +94,9 @@ type outcome = {
   lint_stages : string list;
       (** audit trail: the gate stages that actually ran, in order (empty
           when [lint_gates] is off); both flavors end with ["final-dfg"] *)
+  narrowing : Absint.Narrow.report option;
+      (** what the value-range narrowing stage did (widths shrunk, units
+          folded, dead code deleted); [None] when [config.narrow] is off *)
 }
 
 val seed_back_edges : Dataflow.Graph.t -> Dataflow.Graph.channel_id list

@@ -142,6 +142,15 @@ let validate t =
   | [] -> Ok ()
   | es -> Error (String.concat "; " (List.rev es))
 
+let set_width t uid w =
+  let n = unit_node t uid in
+  Support.Vec.set t.units uid { n with width = w };
+  Array.iter
+    (function
+      | Some cid -> Support.Vec.set t.channels cid { (channel t cid) with width = w }
+      | None -> ())
+    n.outs
+
 let find_units t p =
   let out = ref [] in
   iter_units t (fun n -> if p n then out := n.uid :: !out);

@@ -93,4 +93,9 @@ val validate : t -> (unit, string) result
 (** Checks that every port of every unit is connected exactly once and
     that all endpoints are in range. *)
 
+val set_width : t -> unit_id -> int -> unit
+(** Change a unit's datapath width, updating the width of all its output
+    channels to match (mirroring [connect]'s invariant). Used by the
+    narrowing optimizer ({!module:Absint}). *)
+
 val find_units : t -> (node -> bool) -> unit_id list

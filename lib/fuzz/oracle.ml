@@ -139,6 +139,44 @@ let check_program ?(config = flow_config) ?(mutations = 2) (p : Hls.Generate.pro
   in
   (match (graph, reference) with
   | Some g0, Some ref_value ->
+    (* narrowing differential: the Absint.Narrow rewrite alone (no
+       buffering, so failures implicate the analysis and not the MILP)
+       must keep the interpreter's exit value and memory state, and
+       random simulation against the un-narrowed graph must agree. *)
+    (let flavor = "narrow" in
+     try
+       let gs = G.copy g0 in
+       ignore (Core.Flow.seed_back_edges gs);
+       let res = Absint.Analyze.run gs in
+       let gn, report = Absint.Narrow.run res gs in
+       if Absint.Narrow.changed report then begin
+         Support.Trace.add "fuzz.narrowed" 1;
+         (match Tv.Simdiff.check ~seed:(0xab51 + seed) ~original:gs ~variant:gn () with
+         | [] -> ()
+         | msgs -> fail ~flavor "narrow-equiv" (String.concat "; " msgs));
+         let nm = Hls.Generate.fresh_memories p in
+         match Sim.Elastic.run ~config:sim_config ~memories:nm gn with
+         | exception e -> fail ~flavor "narrow-sim-error" (Printexc.to_string e)
+         | simn ->
+           if simn.Sim.Elastic.deadlocked then
+             fail ~flavor "narrow-deadlock"
+               (Printf.sprintf "after %d cycles" simn.Sim.Elastic.cycles)
+           else if not simn.Sim.Elastic.finished then
+             fail ~flavor "narrow-timeout" (Printf.sprintf "%d cycles" simn.Sim.Elastic.cycles)
+           else begin
+             (match simn.Sim.Elastic.exit_value with
+             | Some v when v = ref_value -> ()
+             | v ->
+               fail ~flavor "narrow-value-mismatch"
+                 (Printf.sprintf "sim=%s interp=%d"
+                    (match v with Some v -> string_of_int v | None -> "none")
+                    ref_value));
+             if not (mems_equal ref_mems nm) then
+               fail ~flavor "narrow-memory-mismatch"
+                 (Format.asprintf "interp: %a/ sim: %a" pp_mems ref_mems pp_mems nm)
+           end
+       end
+     with e -> fail ~flavor "narrow-error" (Printexc.to_string e));
     let run_flavor (flavor, flow) =
       let fail k d = fail ~flavor k d in
       match flow ~config (G.copy g0) with

@@ -147,9 +147,12 @@ let rec compile_expr b env ~(scope : Sset.t) e =
       match op with
       | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 1
       | _ ->
-        (* arithmetic results are ints: promote to the datapath width even
-           when both operands are narrow (e.g. two comparison outputs), or
-           a 1-bit subtractor computes 0 - 1 = 1 *)
+        (* arithmetic results are ints: promote to the datapath width so
+           narrow operands can't truncate (e.g. a 1-bit subtractor computes
+           0 - 1 = 1).  This blanket promotion is the sound fallback; when
+           the flow runs with narrowing enabled, Absint.Narrow shrinks each
+           unit back to its proven value envelope, so there is no need to
+           be clever about widths here. *)
         max b.width (max (value_width b vx) (value_width b vy))
     in
     let o = unit_ b ~width (K.operator kop) in

@@ -19,9 +19,10 @@ type t = {
   severity : severity;
   loc : location;
   message : string;
+  extra : (string * string) list;
 }
 
-let make ~rule ~severity ~loc message = { rule; severity; loc; message }
+let make ?(extra = []) ~rule ~severity ~loc message = { rule; severity; loc; message; extra }
 
 let pp_severity fmt s = Fmt.string fmt (severity_name s)
 
@@ -67,5 +68,11 @@ let to_json d =
     | Some i -> Printf.sprintf "{\"kind\":\"%s\",\"id\":%d}" kind i
     | None -> Printf.sprintf "{\"kind\":\"%s\"}" kind
   in
-  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\"}"
-    (json_escape d.rule) (severity_name d.severity) loc (json_escape d.message)
+  let extra =
+    String.concat ""
+      (List.map
+         (fun (k, v) -> Printf.sprintf ",\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         d.extra)
+  in
+  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\"%s}"
+    (json_escape d.rule) (severity_name d.severity) loc (json_escape d.message) extra

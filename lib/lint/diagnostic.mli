@@ -29,9 +29,14 @@ type t = {
   severity : severity;
   loc : location;
   message : string;
+  extra : (string * string) list;
+      (** machine-readable key/value payload carried into the JSON form
+          (e.g. the inferred interval behind a range-* finding) *)
 }
 
-val make : rule:string -> severity:severity -> loc:location -> string -> t
+val make :
+  ?extra:(string * string) list ->
+  rule:string -> severity:severity -> loc:location -> string -> t
 
 val pp_severity : severity Fmt.t
 val pp_location : location Fmt.t
@@ -39,7 +44,8 @@ val pp : t Fmt.t
 (** [rule-id severity @ location: message] on one line. *)
 
 val to_json : t -> string
-(** One JSON object: [{"rule":…,"severity":…,"loc":{"kind":…,"id":…},"message":…}]. *)
+(** One JSON object: [{"rule":…,"severity":…,"loc":{"kind":…,"id":…},"message":…}]
+    plus one string member per [extra] pair. *)
 
 val json_escape : string -> string
 (** Escape a string for embedding in a JSON literal (quotes, backslashes,

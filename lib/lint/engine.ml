@@ -44,6 +44,11 @@ let gate ~stage r =
 (* Referencing the rule modules here forces their registration even if a
    client only ever touches the engine. *)
 let check_graph ?stage g = of_diagnostics (Dfg_rules.check ?stage g)
+let check_ranges ?result g = of_diagnostics (Range_rules.check ?result g)
+
+let check_narrowing ?rounds ?seed ~original ~variant () =
+  of_diagnostics (Range_rules.check_narrowing ?rounds ?seed ~original ~variant ())
+
 let check_netlist g net = of_diagnostics (Net_rules.check g net)
 
 let check_mapping g lg tg model =
@@ -88,6 +93,7 @@ let report_to_json ?label r =
 let catalogue () =
   (* the list heads force linkage of every rule module *)
   ignore Dfg_rules.rules;
+  ignore Range_rules.rules;
   ignore Net_rules.rules;
   ignore Lut_rules.rules;
   ignore Milp_rules.rules;

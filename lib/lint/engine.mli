@@ -33,6 +33,23 @@ val gate : stage:string -> report -> report
 (** {2 Stage checkers} *)
 
 val check_graph : ?stage:Dfg_rules.stage -> Dataflow.Graph.t -> report
+
+val check_ranges : ?result:Absint.Analyze.result -> Dataflow.Graph.t -> report
+(** The [range-*] family over the abstract-interpretation value analysis;
+    runs the analysis when no [result] is supplied.  See
+    {!Range_rules.check}. *)
+
+val check_narrowing :
+  ?rounds:int ->
+  ?seed:int ->
+  original:Dataflow.Graph.t ->
+  variant:Dataflow.Graph.t ->
+  unit ->
+  report
+(** Random-simulation equivalence of a graph and its narrowed rewrite;
+    mismatches are [equiv-narrow] errors.  See
+    {!Range_rules.check_narrowing}. *)
+
 val check_netlist : Dataflow.Graph.t -> Net.t -> report
 
 val check_mapping :

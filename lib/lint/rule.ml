@@ -1,7 +1,8 @@
-type target = Dfg | Netlist | Lut_mapping | Milp | Perf | Tv
+type target = Dfg | Range | Netlist | Lut_mapping | Milp | Perf | Tv
 
 let target_name = function
   | Dfg -> "dfg"
+  | Range -> "range"
   | Netlist -> "netlist"
   | Lut_mapping -> "lut-mapping"
   | Milp -> "milp"
@@ -10,11 +11,12 @@ let target_name = function
 
 let target_rank = function
   | Dfg -> 0
-  | Netlist -> 1
-  | Lut_mapping -> 2
-  | Milp -> 3
-  | Perf -> 4
-  | Tv -> 5
+  | Range -> 1
+  | Netlist -> 2
+  | Lut_mapping -> 3
+  | Milp -> 4
+  | Perf -> 5
+  | Tv -> 6
 
 type info = {
   id : string;

@@ -9,6 +9,7 @@
 
 type target =
   | Dfg          (** dataflow-graph structure *)
+  | Range        (** abstract-interpretation value/width analysis (Absint) *)
   | Netlist      (** elaborated gate-level netlist *)
   | Lut_mapping  (** LUT-to-DFG mapping + timing model (§IV) *)
   | Milp         (** MILP solution certificate *)

@@ -67,9 +67,10 @@ let completion_key cfg session (req : Protocol.request) =
   Printf.bprintf b "flavor=%s\n" (Protocol.flavor_name req.flavor);
   Printf.bprintf b
     "levels=%d delay=%.9f iters=%d lutk=%d routing=%b slack=%b balance=%b \
-     lint=%b tv=%b\n"
+     lint=%b tv=%b narrow=%b\n"
     fc.Core.Flow.target_levels fc.level_delay fc.max_iterations fc.lut_k
-    fc.routing_aware fc.slack_match fc.balance fc.lint_gates fc.tv_exact;
+    fc.routing_aware fc.slack_match fc.balance fc.lint_gates fc.tv_exact
+    fc.narrow;
   Printf.bprintf b "milp cp=%.9f alpha=%.9f beta=%.9f pen=%b nodes=%d time=%.9f"
     m.Buffering.Formulation.cp_target m.alpha m.beta m.use_penalty m.node_limit
     m.time_limit;

@@ -144,7 +144,12 @@ let test_mutations_additive () =
      + Karp-confirmed stall recovery);
    - seed 107: netlist elaboration must compute operators at the result
      width — a width-8 multiplier fed by two 1-bit comparison outputs
-     indexed its operand rows out of bounds. *)
+     indexed its operand rows out of bounds;
+   - seed 987 (again, post-narrowing): a Control_merge with one live
+     input rewrites to Fork2 + Consts; the fork must take the live
+     input's (possibly zero) width, not the cmerge's index width, or
+     fork elaboration reads data bits past the control channel (direct
+     probe in test_absint.ml). *)
 let test_pinned_regression_seeds () =
   List.iter
     (fun seed ->

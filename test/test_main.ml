@@ -17,6 +17,7 @@ let () =
       ("core", Test_core.suite);
       ("lint", Test_lint.suite);
       ("tv", Test_tv.suite);
+      ("absint", Test_absint.suite);
       ("analysis", Test_analysis.suite);
       ("endtoend", Test_endtoend.suite);
       ("regressions", Test_regressions.suite);
